@@ -1,0 +1,293 @@
+package randlocal
+
+// One benchmark per experiment in EXPERIMENTS.md (E1..E9; the paper has no
+// empirical tables of its own, so each benchmark regenerates the measured
+// side of one theorem's claim — see DESIGN.md §3 for the mapping). Run:
+//
+//	go test -bench=. -benchmem
+//
+// Reported custom metrics carry the quality parameters next to the timing:
+// colors, cluster diameter, rounds, and true random bits, so a benchmark
+// run doubles as a regression check on the "shape" of each claim.
+
+import (
+	"testing"
+)
+
+// BenchmarkE1ElkinNeiman measures the randomized baseline decomposition
+// (experiment E1, claim of §2/[EN16]).
+func BenchmarkE1ElkinNeiman(b *testing.B) {
+	g := GNPConnected(1024, 4.0/1024, NewRNG(1))
+	b.ResetTimer()
+	var colors, diam, rounds int
+	for i := 0; i < b.N; i++ {
+		src := NewFullRandomness(uint64(i))
+		d, res, err := ElkinNeiman(g, src, nil, ENConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := d.StatsOf(g)
+		colors, diam, rounds = st.Colors, st.MaxDiameter, res.Rounds
+	}
+	b.ReportMetric(float64(colors), "colors")
+	b.ReportMetric(float64(diam), "clusterDiam")
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkE2LowRand measures the Theorem 3.1 one-bit-per-ball pipeline
+// (experiment E2).
+func BenchmarkE2LowRand(b *testing.B) {
+	g := Ring(2000)
+	holders := GreedyDominatingSet(g, 2)
+	cfg := LowRandConfig{H: 2, BitsPerCluster: 64, RulingAlphaFactor: 4}
+	b.ResetTimer()
+	var bits int64
+	for i := 0; i < b.N; i++ {
+		src, err := NewSparseRandomness(holders, 1, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := LowRand(g, src, holders, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bits = src.Ledger().TrueBits()
+		_ = res
+	}
+	b.ReportMetric(float64(bits), "trueBits")
+}
+
+// BenchmarkE3Splitting measures Lemma 3.4's zero-round splitting under the
+// three randomness regimes (experiment E3).
+func BenchmarkE3Splitting(b *testing.B) {
+	inst := RandomSplittingInstance(100, 500, 40, NewRNG(3))
+	b.Run("private", func(b *testing.B) {
+		ok := 0
+		for i := 0; i < b.N; i++ {
+			if inst.Check(SolveSplittingPrivate(inst, NewFullRandomness(uint64(i)))) {
+				ok++
+			}
+		}
+		b.ReportMetric(float64(ok)/float64(b.N), "successRate")
+	})
+	b.Run("kwise", func(b *testing.B) {
+		ok := 0
+		for i := 0; i < b.N; i++ {
+			fam, err := NewKWise(16, 32, NewRNG(uint64(i)*7+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if inst.Check(SolveSplittingKWise(inst, fam)) {
+				ok++
+			}
+		}
+		b.ReportMetric(float64(ok)/float64(b.N), "successRate")
+		b.ReportMetric(16*32, "seedBits")
+	})
+	b.Run("epsbias", func(b *testing.B) {
+		ok := 0
+		for i := 0; i < b.N; i++ {
+			gen, err := NewEpsBias(24, NewRNG(uint64(i)*9+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if inst.Check(SolveSplittingEpsBias(inst, gen)) {
+				ok++
+			}
+		}
+		b.ReportMetric(float64(ok)/float64(b.N), "successRate")
+		b.ReportMetric(48, "seedBits")
+	})
+}
+
+// BenchmarkE4KWiseCFMC measures the Theorem 3.5 conflict-free
+// multi-coloring pipeline with k-wise marking (experiment E4).
+func BenchmarkE4KWiseCFMC(b *testing.B) {
+	rng := NewRNG(4)
+	h := &Hypergraph{N: 600}
+	for e := 0; e < 25; e++ {
+		size := 64 + rng.Intn(64)
+		perm := rng.Perm(600)
+		h.Edges = append(h.Edges, append([]int(nil), perm[:size]...))
+	}
+	b.ResetTimer()
+	var colors int
+	for i := 0; i < b.N; i++ {
+		fam, err := NewKWise(64, 64, NewRNG(uint64(i)*13+5))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := SolveCFMC(h, fam, 8, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		colors = res.Colors
+	}
+	b.ReportMetric(float64(colors), "colors")
+}
+
+// BenchmarkE5SharedRand measures the Theorem 3.6 shared-seed decomposition
+// (experiment E5).
+func BenchmarkE5SharedRand(b *testing.B) {
+	g := GNPConnected(512, 3.0/512, NewRNG(5))
+	b.ResetTimer()
+	var seedBits, colors int
+	for i := 0; i < b.N; i++ {
+		shared := NewSharedRandomness(300_000, NewRNG(uint64(i)+1))
+		res, err := SharedRand(g, shared, SharedRandConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		seedBits = res.SeedBitsUsed
+		colors = res.Decomposition.NumColors()
+	}
+	b.ReportMetric(float64(seedBits), "seedBits")
+	b.ReportMetric(float64(colors), "colors")
+}
+
+// BenchmarkE6Shattering measures the Theorem 4.2 shatter-and-repair
+// construction with a weakened first phase (experiment E6).
+func BenchmarkE6Shattering(b *testing.B) {
+	g := GNPConnected(600, 3.0/600, NewRNG(6))
+	b.ResetTimer()
+	var leftover, separated int
+	for i := 0; i < b.N; i++ {
+		res, err := Shattering(g, NewFullRandomness(uint64(i)), ShatteringConfig{ENPhases: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		leftover, separated = res.Leftover, res.SeparatedLeftover
+	}
+	b.ReportMetric(float64(leftover), "leftover")
+	b.ReportMetric(float64(separated), "separatedCore")
+}
+
+// BenchmarkE7SeedSearch measures the Lemma 4.1 exhaustive derandomization
+// over all labeled 4-node graphs (experiment E7).
+func BenchmarkE7SeedSearch(b *testing.B) {
+	p := NeighborhoodSplitting(3)
+	instances := AllGraphs(4)
+	ids := func(g *Graph) []uint64 { return SequentialIDs(g.N()) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SeedSearch(p, instances, ids, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(instances)), "instances")
+}
+
+// BenchmarkE8Derandomize measures the SLOCAL-compiled deterministic MIS
+// against Luby (experiment E8).
+func BenchmarkE8Derandomize(b *testing.B) {
+	g := GNPConnected(256, 4.0/256, NewRNG(8))
+	b.Run("luby", func(b *testing.B) {
+		var rounds int
+		for i := 0; i < b.N; i++ {
+			_, res, err := Luby(g, NewFullRandomness(uint64(i)), nil, LubyConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds = res.Rounds
+		}
+		b.ReportMetric(float64(rounds), "rounds")
+	})
+	b.Run("slocal-compiled", func(b *testing.B) {
+		var rounds int
+		for i := 0; i < b.N; i++ {
+			res, err := DerandomizedMIS(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds = res.AnalyticRounds
+		}
+		b.ReportMetric(float64(rounds), "rounds")
+		b.ReportMetric(0, "trueBits")
+	})
+}
+
+// BenchmarkE9Ledger measures the randomness-accounting overhead itself:
+// the engine with and without a source attached (experiment E9's
+// instrument).
+func BenchmarkE9Ledger(b *testing.B) {
+	g := GNPConnected(512, 4.0/512, NewRNG(9))
+	b.Run("luby-accounted", func(b *testing.B) {
+		var bits int64
+		for i := 0; i < b.N; i++ {
+			src := NewFullRandomness(uint64(i))
+			if _, _, err := Luby(g, src, nil, LubyConfig{}); err != nil {
+				b.Fatal(err)
+			}
+			bits = src.Ledger().TrueBits()
+		}
+		b.ReportMetric(float64(bits), "trueBits")
+	})
+	b.Run("en-accounted", func(b *testing.B) {
+		var bits int64
+		for i := 0; i < b.N; i++ {
+			src := NewFullRandomness(uint64(i))
+			if _, _, err := ElkinNeiman(g, src, nil, ENConfig{}); err != nil {
+				b.Fatal(err)
+			}
+			bits = src.Ledger().TrueBits()
+		}
+		b.ReportMetric(float64(bits), "trueBits")
+	})
+}
+
+// BenchmarkEngine compares the deterministic sequential scheduler with the
+// goroutine-per-node α-synchronizer on the same program — the ablation
+// DESIGN.md calls out.
+func BenchmarkEngine(b *testing.B) {
+	g := GNPConnected(512, 4.0/512, NewRNG(10))
+	cfgOf := func(seed uint64) SimConfig {
+		return SimConfig{Graph: g, Source: NewFullRandomness(seed), MaxMessageBits: CongestBits(g.N())}
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := Luby(g, NewFullRandomness(uint64(i)), nil, LubyConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("concurrent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := cfgOf(uint64(i))
+			factory := func(int) NodeProgram[LubyOutput] { return NewLubyProgram(LubyConfig{}) }
+			if _, err := RunConcurrent(cfg, factory); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE10MPX measures the single-pass MPX partition ablation
+// (experiment E10).
+func BenchmarkE10MPX(b *testing.B) {
+	g := GNPConnected(512, 4.0/512, NewRNG(10))
+	var diam, cut int
+	for i := 0; i < b.N; i++ {
+		res, err := MPXPartition(g, NewFullRandomness(uint64(i)), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		diam, cut = res.MaxClusterDiameter, res.CutEdges
+	}
+	b.ReportMetric(float64(diam), "clusterDiam")
+	b.ReportMetric(float64(cut), "cutEdges")
+}
+
+// BenchmarkE10Sinkless measures the sinkless-orientation retry process on
+// a 4-regular torus (experiment E10, the §1.1 separation example).
+func BenchmarkE10Sinkless(b *testing.B) {
+	g := Torus(24, 24)
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, err := SinklessOrientation(g, NewFullRandomness(uint64(i)), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}

@@ -1,0 +1,54 @@
+// Command experiments regenerates the experiment tables recorded in
+// EXPERIMENTS.md: one experiment per quantitative claim of the paper (the
+// paper itself has no empirical tables — see DESIGN.md §1).
+//
+// Usage:
+//
+//	experiments                 # run everything at full scale
+//	experiments -quick          # CI-sized run
+//	experiments -experiment E3  # one experiment
+//	experiments -list           # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"randlocal/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "run smaller, faster versions of every experiment")
+	seed := fs.Uint64("seed", 2019, "master seed (2019 reproduces EXPERIMENTS.md)")
+	exp := fs.String("experiment", "", "run a single experiment by ID (E1..E9)")
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	if *exp != "" {
+		runner := experiments.ByID(*exp)
+		if runner == nil {
+			return fmt.Errorf("unknown experiment %q (try -list)", *exp)
+		}
+		runner(opt).Render(os.Stdout)
+		return nil
+	}
+	experiments.RenderAll(os.Stdout, opt)
+	return nil
+}

@@ -1,0 +1,223 @@
+// Command locsim runs one algorithm on one generated graph and prints its
+// quality parameters and engine accounting — the interactive front door to
+// the library.
+//
+// Usage examples:
+//
+//	locsim -graph gnp -n 1024 -p 0.004 -algo en
+//	locsim -graph ring -n 2000 -algo lowrand -h 2
+//	locsim -graph grid -n 1024 -algo sharedrand
+//	locsim -graph gnp -n 512 -algo luby
+//	locsim -graph gnp -n 256 -algo derand-mis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"randlocal/internal/check"
+	"randlocal/internal/coloring"
+	"randlocal/internal/decomp"
+	"randlocal/internal/graph"
+	"randlocal/internal/mis"
+	"randlocal/internal/orientation"
+	"randlocal/internal/prng"
+	"randlocal/internal/randomness"
+	"randlocal/internal/slocal"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "locsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("locsim", flag.ContinueOnError)
+	graphKind := fs.String("graph", "gnp", "graph family: gnp | ring | grid | tree | cliques | regular")
+	n := fs.Int("n", 512, "number of nodes (grid rounds to a square)")
+	p := fs.Float64("p", 0.0, "edge probability for gnp (0 = 4/n)")
+	deg := fs.Int("deg", 3, "degree for regular graphs")
+	algo := fs.String("algo", "en", "algorithm: en | lowrand | strong37 | sharedrand | shattering | detdecomp | mpx | sinkless | luby | coloring | derand-mis | derand-coloring")
+	h := fs.Int("h", 2, "bit-holder sparseness for lowrand/strong37")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rng := prng.New(*seed)
+	var g *graph.Graph
+	switch *graphKind {
+	case "gnp":
+		prob := *p
+		if prob == 0 {
+			prob = 4.0 / float64(*n)
+		}
+		g = graph.GNPConnected(*n, prob, rng)
+	case "ring":
+		g = graph.Ring(*n)
+	case "grid":
+		s := 1
+		for (s+1)*(s+1) <= *n {
+			s++
+		}
+		g = graph.Grid(s, s)
+	case "tree":
+		g = graph.RandomTree(*n, rng)
+	case "cliques":
+		g = graph.RingOfCliques(*n/4, 4)
+	case "regular":
+		g = graph.RandomRegular(*n, *deg, rng)
+	default:
+		return fmt.Errorf("unknown graph family %q", *graphKind)
+	}
+	fmt.Printf("graph: %v diameter=%d\n", g, graph.Diameter(g))
+
+	switch *algo {
+	case "en":
+		src := randomness.NewFull(*seed)
+		d, res, err := decomp.ElkinNeiman(g, src, nil, decomp.ENConfig{})
+		if err != nil {
+			return err
+		}
+		return reportDecomp(g, d, "Elkin–Neiman",
+			fmt.Sprintf("rounds=%d messages=%d maxMsgBits=%d trueBits=%d",
+				res.Rounds, res.Messages, res.MaxMessageBits, src.Ledger().TrueBits()))
+	case "lowrand", "strong37":
+		holders := decomp.GreedyDominatingSet(g, *h)
+		bits := 1
+		if *algo == "strong37" {
+			bits = 48
+		}
+		src, err := randomness.NewSparse(holders, bits, *seed)
+		if err != nil {
+			return err
+		}
+		cfg := decomp.LowRandConfig{H: *h, BitsPerCluster: 64, RulingAlphaFactor: 4}
+		if *algo == "lowrand" {
+			res, err := decomp.LowRand(g, src, holders, cfg)
+			if err != nil {
+				return err
+			}
+			return reportDecomp(g, res.Decomposition, "LowRand (Thm 3.1)",
+				fmt.Sprintf("holders=%d bitsGathered=%d preClusters=%d analyticRounds=%d",
+					len(holders), res.BitsGathered, res.DistinctPreClusters(), res.AnalyticRounds))
+		}
+		res, err := decomp.StrongLowRand(g, src, holders, cfg)
+		if err != nil {
+			return err
+		}
+		return reportDecomp(g, res.Decomposition, "StrongLowRand (Thm 3.7)",
+			fmt.Sprintf("holders=%d bitsGathered=%d phases=%d analyticRounds=%d",
+				len(holders), res.BitsGathered, res.Phases, res.AnalyticRounds))
+	case "sharedrand":
+		shared := randomness.NewShared(300_000, prng.New(*seed))
+		res, err := decomp.SharedRand(g, shared, decomp.SharedRandConfig{})
+		if err != nil {
+			return err
+		}
+		return reportDecomp(g, res.Decomposition, "SharedRand (Thm 3.6)",
+			fmt.Sprintf("seedBitsUsed=%d phases=%d analyticRounds=%d",
+				res.SeedBitsUsed, res.Phases, res.AnalyticRounds))
+	case "shattering":
+		res, err := decomp.Shattering(g, randomness.NewFull(*seed), decomp.ShatteringConfig{ENPhases: 2})
+		if err != nil {
+			return err
+		}
+		if err := res.Decomposition.ValidateWeak(g, 0, 0); err != nil {
+			return fmt.Errorf("invalid result: %w", err)
+		}
+		fmt.Printf("Shattering (Thm 4.2): valid (weak-diameter)\n")
+		fmt.Printf("  leftover=%d separated=%d ENrounds=%d detClusters=%d analyticRounds=%d\n",
+			res.Leftover, res.SeparatedLeftover, res.ENRounds, res.DeterministicClusters, res.AnalyticRounds)
+		return nil
+	case "detdecomp":
+		d := decomp.DeterministicSequential(g)
+		return reportDecomp(g, d, "Deterministic sequential (zero randomness)", "SLOCAL locality O(log n)")
+	case "mpx":
+		res, err := decomp.MPXPartition(g, randomness.NewFull(*seed), nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("MPX random-shift partition: maxClusterDiameter=%d cutEdges=%d/%d rounds=%d\n",
+			res.MaxClusterDiameter, res.CutEdges, g.M(), res.Rounds)
+		return nil
+	case "sinkless":
+		res, err := orientation.Sinkless(g, randomness.NewFull(*seed), 0)
+		if err != nil {
+			return err
+		}
+		if err := res.Orientation.Check(3); err != nil {
+			return fmt.Errorf("invalid orientation: %w", err)
+		}
+		fmt.Printf("Sinkless orientation: valid, rounds=%d retries=%d\n", res.Rounds, res.Retries)
+		return nil
+	case "luby":
+		src := randomness.NewFull(*seed)
+		in, res, err := mis.Luby(g, src, nil, mis.LubyConfig{})
+		if err != nil {
+			return err
+		}
+		if err := check.MIS(g, in); err != nil {
+			return fmt.Errorf("invalid MIS: %w", err)
+		}
+		size := 0
+		for _, b := range in {
+			if b {
+				size++
+			}
+		}
+		fmt.Printf("Luby MIS: valid, |MIS|=%d rounds=%d trueBits=%d\n", size, res.Rounds, src.Ledger().TrueBits())
+		return nil
+	case "coloring":
+		src := randomness.NewFull(*seed)
+		colors, res, err := coloring.Randomized(g, src, nil, coloring.Config{})
+		if err != nil {
+			return err
+		}
+		if err := check.Coloring(g, colors, g.MaxDegree()+1); err != nil {
+			return fmt.Errorf("invalid coloring: %w", err)
+		}
+		fmt.Printf("Randomized (Δ+1)-coloring: valid, Δ+1=%d rounds=%d trueBits=%d\n",
+			g.MaxDegree()+1, res.Rounds, src.Ledger().TrueBits())
+		return nil
+	case "derand-mis":
+		res, err := slocal.DerandomizedMIS(g)
+		if err != nil {
+			return err
+		}
+		if err := check.MIS(g, res.Outputs); err != nil {
+			return fmt.Errorf("invalid MIS: %w", err)
+		}
+		fmt.Printf("Derandomized MIS: valid, zero randomness, analyticRounds=%d (colors=%d, clusterDiam=%d)\n",
+			res.AnalyticRounds, res.Colors, res.MaxClusterDiameter)
+		return nil
+	case "derand-coloring":
+		res, err := slocal.DerandomizedColoring(g)
+		if err != nil {
+			return err
+		}
+		if err := check.Coloring(g, res.Outputs, g.MaxDegree()+1); err != nil {
+			return fmt.Errorf("invalid coloring: %w", err)
+		}
+		fmt.Printf("Derandomized (Δ+1)-coloring: valid, zero randomness, analyticRounds=%d\n", res.AnalyticRounds)
+		return nil
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+}
+
+func reportDecomp(g *graph.Graph, d *decomp.Decomposition, name, extra string) error {
+	if err := d.Validate(g, 0, 0); err != nil {
+		return fmt.Errorf("%s produced an invalid decomposition: %w", name, err)
+	}
+	st := d.StatsOf(g)
+	fmt.Printf("%s: valid strong-diameter decomposition\n", name)
+	fmt.Printf("  colors=%d clusters=%d maxDiameter=%d maxSize=%d\n", st.Colors, st.Clusters, st.MaxDiameter, st.MaxSize)
+	if extra != "" {
+		fmt.Printf("  %s\n", extra)
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+// Shared seed: Section 3.2 in action. An entire network computes a
+// decomposition (Theorem 3.6) and a splitting instance is solved in zero
+// rounds (Lemma 3.4) with NO private randomness anywhere — every coin any
+// node "flips" is a deterministic expansion of one public poly(log n)-bit
+// seed into k-wise independent or small-bias families.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"randlocal"
+)
+
+func main() {
+	rng := randlocal.NewRNG(2019)
+	g := randlocal.GNPConnected(512, 3.0/512, rng)
+
+	// One public seed for the whole network.
+	shared := randlocal.NewSharedRandomness(300_000, randlocal.NewRNG(3))
+	fmt.Printf("network: %v; shared seed available: %d bits, private randomness: none\n",
+		g, shared.SeedBits())
+
+	// Theorem 3.6: epoch-doubling center sampling with radii and sampling
+	// decisions drawn from two Θ(log² n)-wise families expanded from the
+	// shared seed.
+	res, err := randlocal.SharedRand(g, shared, randlocal.SharedRandConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Decomposition.Validate(g, 0, 0); err != nil {
+		log.Fatalf("invalid: %v", err)
+	}
+	st := res.Decomposition.StatsOf(g)
+	fmt.Printf("Thm 3.6 decomposition: %d colors, strong diameter %d, %d phases, %d seed bits consumed\n",
+		st.Colors, st.MaxDiameter, res.Phases, res.SeedBitsUsed)
+
+	// Lemma 3.4: splitting in zero rounds. The ε-bias route needs only
+	// O(log n) seed bits; each V-node's color is a pure function of
+	// (seed, its own identifier) — no messages at all.
+	inst := randlocal.RandomSplittingInstance(64, 512, 40, randlocal.NewRNG(8))
+	gen, err := randlocal.NewEpsBias(24, randlocal.NewRNG(9))
+	if err != nil {
+		log.Fatal(err)
+	}
+	colors := randlocal.SolveSplittingEpsBias(inst, gen)
+	if err := randlocal.CheckSplitting(inst.AdjU, colors); err != nil {
+		log.Fatalf("splitting failed: %v", err)
+	}
+	fmt.Printf("Lemma 3.4 splitting: solved in 0 rounds with a %d-bit seed (64 U-nodes, degree 40)\n",
+		gen.SeedBits())
+	fmt.Println("\nno node ever flipped a private coin: the ledger shows only derived bits beyond the seed")
+	fmt.Printf("ledger: %v\n", shared.Ledger())
+}

@@ -1,0 +1,60 @@
+// Package core is the canonical entry point to the paper's primary
+// contribution: network-decomposition constructions under restricted
+// randomness budgets and with boosted success probability. The
+// implementations live in internal/decomp (decompositions), with the
+// randomness regimes in internal/randomness; this package names the four
+// headline constructions after their theorems so that readers navigating
+// by the paper find them in one place.
+//
+//	Theorem31  — one private random bit per poly(log n)-hop ball suffices
+//	Theorem36  — poly(log n) globally shared bits suffice (no private coins)
+//	Theorem37  — strong O(log² n) diameter under the Theorem 3.1 model
+//	Theorem42  — shattering boosts the error to 1 − n^{−2^{ε·log² T}}
+//
+// Each returns a validated-checkable Decomposition plus the accounting the
+// corresponding experiment (E2/E5/E6 in EXPERIMENTS.md) reports.
+package core
+
+import (
+	"randlocal/internal/decomp"
+	"randlocal/internal/graph"
+	"randlocal/internal/randomness"
+)
+
+// Decomposition re-exports the strong-diameter decomposition type.
+type Decomposition = decomp.Decomposition
+
+// Configuration types for the headline constructions.
+type (
+	// LowRandConfig parameterizes Theorems 3.1 and 3.7.
+	LowRandConfig = decomp.LowRandConfig
+	// SharedRandConfig parameterizes Theorem 3.6.
+	SharedRandConfig = decomp.SharedRandConfig
+	// ShatteringConfig parameterizes Theorem 4.2.
+	ShatteringConfig = decomp.ShatteringConfig
+)
+
+// Theorem31 builds an (O(log n), h·polylog n) strong-diameter network
+// decomposition from one private random bit per holder, holders h-dominating.
+func Theorem31(g *graph.Graph, src *randomness.Sparse, holders []int, cfg LowRandConfig) (*decomp.LowRandResult, error) {
+	return decomp.LowRand(g, src, holders, cfg)
+}
+
+// Theorem36 builds an (O(log n), O(log² n)) strong-diameter decomposition
+// from poly(log n) shared random bits and no private randomness.
+func Theorem36(g *graph.Graph, shared *randomness.Shared, cfg SharedRandConfig) (*decomp.SharedRandResult, error) {
+	return decomp.SharedRand(g, shared, cfg)
+}
+
+// Theorem37 builds a strong-diameter (O(log n), O(log² n)) decomposition
+// under the Theorem 3.1 sparse-randomness model — the h-free variant.
+func Theorem37(g *graph.Graph, src *randomness.Sparse, holders []int, cfg LowRandConfig) (*decomp.StrongLowRandResult, error) {
+	return decomp.StrongLowRand(g, src, holders, cfg)
+}
+
+// Theorem42 runs the shattering construction: a randomized phase whose
+// leftover nodes are repaired deterministically, leaving only the
+// exponentially-unlikely large-separated-core failure event.
+func Theorem42(g *graph.Graph, src randomness.Source, cfg ShatteringConfig) (*decomp.ShatteringResult, error) {
+	return decomp.Shattering(g, src, cfg)
+}

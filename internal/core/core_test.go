@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"randlocal/internal/decomp"
+	"randlocal/internal/graph"
+	"randlocal/internal/prng"
+	"randlocal/internal/randomness"
+)
+
+// TestTheoremEntryPoints exercises each headline construction once through
+// the core package naming, asserting validity — the navigational contract
+// that the theorem-named functions reach the same implementations as the
+// decomp package.
+func TestTheoremEntryPoints(t *testing.T) {
+	t.Run("Theorem31", func(t *testing.T) {
+		g := graph.Ring(1200)
+		holders := decomp.GreedyDominatingSet(g, 2)
+		src, err := randomness.NewSparse(holders, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Theorem31(g, src, holders, LowRandConfig{H: 2, BitsPerCluster: 64, RulingAlphaFactor: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Decomposition.Validate(g, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("Theorem36", func(t *testing.T) {
+		g := graph.Grid(12, 12)
+		shared := randomness.NewShared(200_000, prng.New(2))
+		res, err := Theorem36(g, shared, SharedRandConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Decomposition.Validate(g, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("Theorem37", func(t *testing.T) {
+		g := graph.Ring(1200)
+		holders := decomp.GreedyDominatingSet(g, 2)
+		src, err := randomness.NewSparse(holders, 48, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Theorem37(g, src, holders, LowRandConfig{H: 2, BitsPerCluster: 64, RulingAlphaFactor: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Decomposition.Validate(g, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("Theorem42", func(t *testing.T) {
+		g := graph.GNPConnected(300, 3.0/300, prng.New(4))
+		res, err := Theorem42(g, randomness.NewFull(5), ShatteringConfig{ENPhases: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Decomposition.ValidateWeak(g, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

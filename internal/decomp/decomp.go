@@ -1,0 +1,163 @@
+// Package decomp implements the network-decomposition constructions at the
+// center of the paper: the randomized Elkin–Neiman baseline [EN16] that the
+// paper's Section 2 takes as its starting point, the one-bit-per-ball
+// construction of Theorem 3.1 (Lemmas 3.2 and 3.3), the strong-diameter
+// variant of Theorem 3.7, the shared-randomness CONGEST construction of
+// Theorem 3.6, the shattering-boosted construction of Theorem 4.2, and a
+// deterministic ruling-set-based baseline standing in for the
+// Panconesi–Srinivasan second phase.
+//
+// A network decomposition with α colors and diameter β partitions V into
+// clusters, assigns each cluster one of α colors, and guarantees that
+// same-color clusters are non-adjacent and every cluster's induced subgraph
+// has diameter at most β (strong diameter — all constructions here achieve
+// congestion 1, the strongest variant defined in Section 2 of the paper).
+package decomp
+
+import (
+	"fmt"
+
+	"randlocal/internal/graph"
+)
+
+// Decomposition is a strong-diameter network decomposition: Cluster[v]
+// identifies v's cluster (clusters are arbitrary non-negative labels, unique
+// per cluster), and Color[v] is the color of that cluster.
+type Decomposition struct {
+	Cluster []int
+	Color   []int
+}
+
+// NumColors returns the number of distinct colors used.
+func (d *Decomposition) NumColors() int {
+	seen := map[int]bool{}
+	for _, c := range d.Color {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// NumClusters returns the number of distinct clusters.
+func (d *Decomposition) NumClusters() int {
+	seen := map[int]bool{}
+	for _, c := range d.Cluster {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// MaxClusterDiameter returns the maximum, over clusters, of the diameter of
+// the cluster's induced subgraph (the strong diameter of the decomposition).
+// A disconnected cluster yields an error via Validate; here it reports the
+// diameter of the largest piece reachable within the cluster.
+func (d *Decomposition) MaxClusterDiameter(g *graph.Graph) int {
+	clusters := d.clusterMembers()
+	maxDiam := 0
+	for _, members := range clusters {
+		sub, _ := graph.InducedSubgraph(g, members)
+		if diam := graph.Diameter(sub); diam > maxDiam {
+			maxDiam = diam
+		}
+	}
+	return maxDiam
+}
+
+// MaxClusterSize returns the size of the largest cluster.
+func (d *Decomposition) MaxClusterSize() int {
+	sizes := map[int]int{}
+	best := 0
+	for _, c := range d.Cluster {
+		sizes[c]++
+		if sizes[c] > best {
+			best = sizes[c]
+		}
+	}
+	return best
+}
+
+func (d *Decomposition) clusterMembers() map[int][]int {
+	m := map[int][]int{}
+	for v, c := range d.Cluster {
+		m[c] = append(m[c], v)
+	}
+	return m
+}
+
+// Validate checks that d is a valid strong-diameter network decomposition of
+// g with at most maxColors colors and cluster diameter at most maxDiam
+// (pass maxColors or maxDiam <= 0 to skip the respective bound):
+//
+//  1. every node belongs to a cluster (Cluster[v] >= 0),
+//  2. color is constant on every cluster,
+//  3. adjacent nodes in different clusters have different cluster colors,
+//  4. every cluster's induced subgraph is connected with diameter <= maxDiam.
+func (d *Decomposition) Validate(g *graph.Graph, maxColors, maxDiam int) error {
+	n := g.N()
+	if len(d.Cluster) != n || len(d.Color) != n {
+		return fmt.Errorf("decomp: label arrays sized %d/%d for %d nodes", len(d.Cluster), len(d.Color), n)
+	}
+	for v := 0; v < n; v++ {
+		if d.Cluster[v] < 0 {
+			return fmt.Errorf("decomp: node %d is unclustered", v)
+		}
+	}
+	clusterColor := map[int]int{}
+	for v := 0; v < n; v++ {
+		c := d.Cluster[v]
+		if col, ok := clusterColor[c]; ok {
+			if col != d.Color[v] {
+				return fmt.Errorf("decomp: cluster %d carries colors %d and %d", c, col, d.Color[v])
+			}
+		} else {
+			clusterColor[c] = d.Color[v]
+		}
+	}
+	var adjErr error
+	g.Edges(func(u, v int) {
+		if adjErr != nil {
+			return
+		}
+		if d.Cluster[u] != d.Cluster[v] && d.Color[u] == d.Color[v] {
+			adjErr = fmt.Errorf("decomp: adjacent clusters %d and %d share color %d (edge {%d,%d})",
+				d.Cluster[u], d.Cluster[v], d.Color[u], u, v)
+		}
+	})
+	if adjErr != nil {
+		return adjErr
+	}
+	if maxColors > 0 {
+		if got := d.NumColors(); got > maxColors {
+			return fmt.Errorf("decomp: %d colors exceed the bound %d", got, maxColors)
+		}
+	}
+	for c, members := range d.clusterMembers() {
+		sub, _ := graph.InducedSubgraph(g, members)
+		if !graph.IsConnected(sub) {
+			return fmt.Errorf("decomp: cluster %d induces a disconnected subgraph", c)
+		}
+		if maxDiam > 0 {
+			if diam := graph.Diameter(sub); diam > maxDiam {
+				return fmt.Errorf("decomp: cluster %d has strong diameter %d > bound %d", c, diam, maxDiam)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the quality parameters the experiments report.
+type Stats struct {
+	Colors      int
+	Clusters    int
+	MaxDiameter int
+	MaxSize     int
+}
+
+// StatsOf computes the decomposition's quality parameters on g.
+func (d *Decomposition) StatsOf(g *graph.Graph) Stats {
+	return Stats{
+		Colors:      d.NumColors(),
+		Clusters:    d.NumClusters(),
+		MaxDiameter: d.MaxClusterDiameter(g),
+		MaxSize:     d.MaxClusterSize(),
+	}
+}

@@ -1,0 +1,237 @@
+package decomp
+
+import (
+	"fmt"
+	"sort"
+
+	"randlocal/internal/graph"
+	"randlocal/internal/randomness"
+	"randlocal/internal/rulingset"
+)
+
+// LowRandConfig parameterizes the Theorem 3.1 construction.
+type LowRandConfig struct {
+	// H is the sparseness parameter h: every node has a bit-holder within
+	// h hops. Required (>= 1).
+	H int
+	// BitsPerCluster is the number of random bits k each non-isolated
+	// pre-cluster must gather (Lemma 3.2's k). 0 means 64·⌈log₂ n⌉, enough
+	// for the Lemma 3.3 phases with margin (the paper budgets C·log² n).
+	BitsPerCluster int
+	// RulingAlphaFactor scales the ruling-set separation h' = factor·k·H;
+	// the paper uses 10 (h' = 10kh). 0 means 10. Smaller factors are used
+	// by ablation experiments to probe how tight the constant is.
+	RulingAlphaFactor int
+}
+
+// LowRandResult carries the Theorem 3.1 decomposition and its accounting.
+type LowRandResult struct {
+	Decomposition *Decomposition
+	// PreClusters is the Lemma 3.2 clustering (cluster label = center).
+	PreClusters []int
+	// Isolated counts pre-clusters with no neighboring cluster.
+	Isolated int
+	// BitsGathered is the total number of holder bits collected.
+	BitsGathered int
+	// AnalyticRounds is the CONGEST round budget of the construction:
+	// ruling set O(h'·log n) + cluster formation O(h'·log n) + upcast
+	// O(h'·log n) + Lemma 3.3's EN on the cluster graph, O(log² n) cluster
+	// rounds at O(h'·log n) base rounds each.
+	AnalyticRounds int
+	// ENPhases is the number of phases the cluster-graph EN needed.
+	ENPhases int
+}
+
+// LowRand implements Theorem 3.1: given that the nodes listed in holders
+// each own a single private random bit (src must be a Sparse source over
+// exactly those nodes) and every node of g lies within cfg.H hops of a
+// holder, it builds an (O(log n), h·poly(log n)) strong-diameter network
+// decomposition using only those bits.
+//
+// The construction follows the paper's two lemmas literally. Lemma 3.2:
+// compute an (h', h'·log n)-ruling set R with h' = 10·k·h, cluster every
+// node with its nearest R-node, and upcast the holder bits inside each
+// cluster to its center — non-isolated clusters are guaranteed (and here
+// verified) to contain enough holders. Lemma 3.3: run the Elkin–Neiman
+// construction on the cluster graph, with each cluster-center drawing its
+// geometric radii from its gathered pool, and map colors back to nodes.
+func LowRand(g *graph.Graph, src *randomness.Sparse, holders []int, cfg LowRandConfig) (*LowRandResult, error) {
+	n := g.N()
+	if n == 0 {
+		return &LowRandResult{Decomposition: &Decomposition{}}, nil
+	}
+	if cfg.H < 1 {
+		return nil, fmt.Errorf("decomp: LowRand needs h >= 1, got %d", cfg.H)
+	}
+	lg := log2Ceil(n) + 1
+	k := cfg.BitsPerCluster
+	if k == 0 {
+		k = 64 * lg
+	}
+	factor := cfg.RulingAlphaFactor
+	if factor == 0 {
+		factor = 10
+	}
+	// Verify the model precondition: every node within h of a holder.
+	holderDist := g.MultiBFS(holders)
+	for v := 0; v < n; v++ {
+		if holderDist[v] == graph.Unreachable || holderDist[v] > cfg.H {
+			return nil, fmt.Errorf("decomp: node %d has no bit-holder within h=%d hops", v, cfg.H)
+		}
+	}
+
+	// --- Lemma 3.2: ruling set, pre-clusters, bit gathering. ---
+	hPrime := factor * k * cfg.H
+	rs, err := rulingset.Compute(g, nil, hPrime, nil)
+	if err != nil {
+		return nil, fmt.Errorf("decomp: ruling set: %w", err)
+	}
+	_, owner := g.MultiBFSOwner(rs.Set)
+	// Relabel pre-clusters densely.
+	centerIdx := map[int]int{}
+	for _, c := range rs.Set {
+		centerIdx[c] = len(centerIdx)
+	}
+	pre := make([]int, n)
+	for v := 0; v < n; v++ {
+		pre[v] = centerIdx[owner[v]]
+	}
+	numPre := len(rs.Set)
+	cg := graph.Contract(g, pre, numPre)
+
+	// Gather holder bits per pre-cluster (the upcast of Lemma 3.2).
+	pools := make([]*randomness.Pool, numPre)
+	for i := range pools {
+		pools[i] = &randomness.Pool{}
+	}
+	gathered := 0
+	for _, h := range holders {
+		stream := src.Stream(h)
+		for stream.Remaining() > 0 {
+			pools[pre[h]].Add(stream.Bit())
+			gathered++
+		}
+	}
+	isolated := 0
+	for c := 0; c < numPre; c++ {
+		if cg.Degree(c) == 0 {
+			isolated++
+			continue
+		}
+		if pools[c].Size() < k {
+			return nil, fmt.Errorf("decomp: non-isolated pre-cluster %d gathered %d bits < k=%d (h' too small for this graph)",
+				c, pools[c].Size(), k)
+		}
+	}
+
+	// --- Lemma 3.3: Elkin–Neiman on the cluster graph, radii from pools. ---
+	// Isolated clusters take color 0 directly (they have no neighbors, so
+	// any color is safe — the paper colors them with color 1 up front).
+	cap := 2*log2Ceil(numPre+1) + 4
+	maxPhases := 12*log2Ceil(numPre+1) + 8
+	var poolErr error
+	radius := func(c, phase int) int {
+		budget := pools[c].Remaining()
+		if budget == 0 {
+			if poolErr == nil {
+				poolErr = fmt.Errorf("decomp: pre-cluster %d exhausted its %d gathered bits in phase %d (increase BitsPerCluster)",
+					c, pools[c].Size(), phase)
+			}
+			return 1
+		}
+		if budget > cap {
+			budget = cap
+		}
+		r, ok := pools[c].Geometric(budget)
+		if !ok && budget < cap && poolErr == nil {
+			poolErr = fmt.Errorf("decomp: pre-cluster %d ran out of bits mid-draw in phase %d (increase BitsPerCluster)", c, phase)
+		}
+		return r
+	}
+	// Run EN on the sub-cluster-graph induced by non-isolated clusters.
+	var active []int
+	for c := 0; c < numPre; c++ {
+		if cg.Degree(c) > 0 {
+			active = append(active, c)
+		}
+	}
+	colorOfPre := make([]int, numPre)
+	clusterOfPre := make([]int, numPre)
+	for c := 0; c < numPre; c++ {
+		colorOfPre[c] = 0
+		clusterOfPre[c] = c // isolated clusters stand alone
+	}
+	phases := 0
+	if len(active) > 0 {
+		sub, orig := graph.InducedSubgraph(cg, active)
+		subRadius := func(v, phase int) int { return radius(orig[v], phase) }
+		ids := make([]uint64, sub.N())
+		for i := range ids {
+			ids[i] = uint64(i)
+		}
+		subDecomp := ElkinNeimanReference(sub, ids, maxPhases, subRadius)
+		if poolErr != nil {
+			return nil, poolErr
+		}
+		for i := range orig {
+			if subDecomp.Cluster[i] < 0 {
+				return nil, &ErrUnclustered{Count: 1}
+			}
+			// Offset non-isolated labels past the isolated ones and bump
+			// colors by 1 so isolated clusters (color 0) never collide.
+			clusterOfPre[orig[i]] = numPre + subDecomp.Cluster[i]
+			colorOfPre[orig[i]] = 1 + subDecomp.Color[i]
+			if subDecomp.Color[i]+1 > phases {
+				phases = subDecomp.Color[i] + 1
+			}
+		}
+	}
+
+	d := &Decomposition{Cluster: make([]int, n), Color: make([]int, n)}
+	for v := 0; v < n; v++ {
+		d.Cluster[v] = clusterOfPre[pre[v]]
+		d.Color[v] = colorOfPre[pre[v]]
+	}
+	enRounds := phases * (cap + 2)
+	res := &LowRandResult{
+		Decomposition:  d,
+		PreClusters:    pre,
+		Isolated:       isolated,
+		BitsGathered:   gathered,
+		ENPhases:       phases,
+		AnalyticRounds: rs.AnalyticRounds + 2*hPrime*lg + enRounds*(2*hPrime*lg+1),
+	}
+	return res, nil
+}
+
+// DistinctPreClusters counts the distinct Lemma 3.2 pre-clusters.
+func (r *LowRandResult) DistinctPreClusters() int {
+	seen := map[int]bool{}
+	for _, c := range r.PreClusters {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// GreedyDominatingSet returns a set S such that every node is within h hops
+// of S, by greedily sweeping nodes in index order and claiming any node not
+// yet dominated. It is the experiment harness's stand-in for "there happens
+// to be a bit of randomness within h hops of everyone" — the model
+// assumption of Theorems 3.1/3.7 — and also certifies the h-domination.
+func GreedyDominatingSet(g *graph.Graph, h int) []int {
+	n := g.N()
+	covered := make([]bool, n)
+	var set []int
+	for v := 0; v < n; v++ {
+		if covered[v] {
+			continue
+		}
+		set = append(set, v)
+		nodes, _ := g.BFSWithin(v, h)
+		for _, w := range nodes {
+			covered[w] = true
+		}
+	}
+	sort.Ints(set)
+	return set
+}

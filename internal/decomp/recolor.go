@@ -1,0 +1,46 @@
+package decomp
+
+import (
+	"fmt"
+
+	"randlocal/internal/graph"
+)
+
+// ImproveColors implements the [ABCP96] transformation the paper leans on
+// in Theorem 4.2 and Corollary 4.5: any (d, c)-decomposition can be turned
+// into an (O(log n), O(log n·d))-decomposition (in colors and diameter
+// respectively) by contracting its clusters and decomposing the cluster
+// graph again. Here the second level uses the deterministic sequential
+// construction, so the transform adds zero randomness.
+//
+// Given a valid decomposition d of g, the result has at most ⌈log₂ K⌉+1
+// colors (K = number of clusters of d) and strong diameter at most
+// (2·⌈log₂ K⌉+1)·(diam(d)+1)·2 in g.
+func ImproveColors(g *graph.Graph, d *Decomposition) (*Decomposition, error) {
+	n := g.N()
+	if len(d.Cluster) != n {
+		return nil, fmt.Errorf("decomp: decomposition covers %d nodes, graph has %d", len(d.Cluster), n)
+	}
+	// Dense-relabel the input clusters.
+	idx := map[int]int{}
+	for _, c := range d.Cluster {
+		if c < 0 {
+			return nil, fmt.Errorf("decomp: ImproveColors requires a complete decomposition")
+		}
+		if _, ok := idx[c]; !ok {
+			idx[c] = len(idx)
+		}
+	}
+	part := make([]int, n)
+	for v := 0; v < n; v++ {
+		part[v] = idx[d.Cluster[v]]
+	}
+	cg := graph.Contract(g, part, len(idx))
+	top := DeterministicSequential(cg)
+	out := &Decomposition{Cluster: make([]int, n), Color: make([]int, n)}
+	for v := 0; v < n; v++ {
+		out.Cluster[v] = top.Cluster[part[v]]
+		out.Color[v] = top.Color[part[v]]
+	}
+	return out, nil
+}

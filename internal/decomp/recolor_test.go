@@ -1,0 +1,75 @@
+package decomp
+
+import (
+	"testing"
+
+	"randlocal/internal/graph"
+	"randlocal/internal/prng"
+	"randlocal/internal/randomness"
+)
+
+// manyColorDecomposition builds a deliberately wasteful decomposition:
+// every node its own cluster with its own color.
+func manyColorDecomposition(n int) *Decomposition {
+	d := &Decomposition{Cluster: make([]int, n), Color: make([]int, n)}
+	for v := 0; v < n; v++ {
+		d.Cluster[v] = v
+		d.Color[v] = v
+	}
+	return d
+}
+
+func TestImproveColorsReducesColorCount(t *testing.T) {
+	rng := prng.New(9)
+	g := graph.GNPConnected(200, 0.03, rng)
+	waste := manyColorDecomposition(200)
+	if err := waste.Validate(g, 0, 0); err != nil {
+		t.Fatalf("singleton decomposition should be valid: %v", err)
+	}
+	improved, err := ImproveColors(g, waste)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := log2Ceil(200) + 1
+	if err := improved.Validate(g, lg+1, 0); err != nil {
+		t.Fatalf("improved decomposition invalid: %v", err)
+	}
+	if improved.NumColors() >= waste.NumColors() {
+		t.Errorf("colors %d not reduced from %d", improved.NumColors(), waste.NumColors())
+	}
+}
+
+func TestImproveColorsOnENOutput(t *testing.T) {
+	// Applying the transform to an EN output must stay valid; colors can
+	// only shrink or stay at O(log n).
+	g := graph.Ring(256)
+	d, _, err := ElkinNeiman(g, randomness.NewFull(3), nil, ENConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved, err := ImproveColors(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := improved.Validate(g, 0, 0); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	// Diameter may grow (clusters merge along the second level) but must
+	// stay within the (2·lgK+1)·(diam+1)·2 envelope.
+	bound := (2*log2Ceil(d.NumClusters()) + 1) * (d.MaxClusterDiameter(g) + 1) * 2
+	if got := improved.MaxClusterDiameter(g); got > bound {
+		t.Errorf("diameter %d exceeds envelope %d", got, bound)
+	}
+}
+
+func TestImproveColorsRejectsIncomplete(t *testing.T) {
+	g := graph.Path(3)
+	bad := &Decomposition{Cluster: []int{0, -1, 1}, Color: []int{0, 0, 1}}
+	if _, err := ImproveColors(g, bad); err == nil {
+		t.Error("incomplete decomposition accepted")
+	}
+	short := &Decomposition{Cluster: []int{0}, Color: []int{0}}
+	if _, err := ImproveColors(g, short); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}

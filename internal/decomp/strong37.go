@@ -1,0 +1,158 @@
+package decomp
+
+import (
+	"fmt"
+
+	"randlocal/internal/graph"
+	"randlocal/internal/randomness"
+	"randlocal/internal/rulingset"
+)
+
+// StrongLowRandResult carries the Theorem 3.7 decomposition and accounting.
+type StrongLowRandResult struct {
+	Decomposition *Decomposition
+	Phases        int
+	// BitsGathered is the number of holder bits collected by the Lemma 3.2
+	// upcast (the construction's entire randomness budget).
+	BitsGathered   int
+	AnalyticRounds int
+}
+
+// StrongLowRand implements Theorem 3.7: under the same sparse-randomness
+// model as Theorem 3.1 (one private bit per holder, every node within h
+// hops of a holder), it produces a strong-diameter decomposition with
+// O(log n) colors and O(log² n) cluster radius — removing the h factor from
+// the diameter that Theorem 3.1 suffers.
+//
+// Following the paper's proof sketch: gather poly(log n) bits per
+// pre-cluster exactly as in Lemma 3.2, treat each pre-cluster's bits as a
+// seed shared by that cluster's nodes, expand each seed into k-wise
+// independent families, and run the Theorem 3.6 phase/epoch construction on
+// the *original* graph with every node drawing from its own pre-cluster's
+// families. Bits are fully independent across pre-clusters and k-wise
+// within, which is all the Theorem 3.6 analysis needs.
+func StrongLowRand(g *graph.Graph, src *randomness.Sparse, holders []int, cfg LowRandConfig) (*StrongLowRandResult, error) {
+	n := g.N()
+	if n == 0 {
+		return &StrongLowRandResult{Decomposition: &Decomposition{}}, nil
+	}
+	if cfg.H < 1 {
+		return nil, fmt.Errorf("decomp: StrongLowRand needs h >= 1, got %d", cfg.H)
+	}
+	lg := log2Ceil(n) + 1
+	k := cfg.BitsPerCluster
+	if k == 0 {
+		k = 64 * lg
+	}
+	factor := cfg.RulingAlphaFactor
+	if factor == 0 {
+		factor = 10
+	}
+	holderDist := g.MultiBFS(holders)
+	for v := 0; v < n; v++ {
+		if holderDist[v] == graph.Unreachable || holderDist[v] > cfg.H {
+			return nil, fmt.Errorf("decomp: node %d has no bit-holder within h=%d hops", v, cfg.H)
+		}
+	}
+
+	// Lemma 3.2 pre-clustering and bit gathering.
+	hPrime := factor * k * cfg.H
+	rs, err := rulingset.Compute(g, nil, hPrime, nil)
+	if err != nil {
+		return nil, fmt.Errorf("decomp: ruling set: %w", err)
+	}
+	_, owner := g.MultiBFSOwner(rs.Set)
+	centerIdx := map[int]int{}
+	for _, c := range rs.Set {
+		centerIdx[c] = len(centerIdx)
+	}
+	pre := make([]int, n)
+	for v := 0; v < n; v++ {
+		pre[v] = centerIdx[owner[v]]
+	}
+	numPre := len(rs.Set)
+	pools := make([]*randomness.Pool, numPre)
+	for i := range pools {
+		pools[i] = &randomness.Pool{}
+	}
+	gathered := 0
+	for _, h := range holders {
+		stream := src.Stream(h)
+		for stream.Remaining() > 0 {
+			pools[pre[h]].Add(stream.Bit())
+			gathered++
+		}
+	}
+
+	// Expand each pre-cluster's pool into two k-wise families. The seed is
+	// whatever the cluster actually gathered — at least kFam·m·2 bits are
+	// needed; fail loudly otherwise (theorem precondition violated).
+	const m = 32
+	kFam := lg // independence within a cluster; Θ(log n) suffices per epoch
+	need := 2 * kFam * int(m)
+	type fams struct{ sample, radius *randomness.KWise }
+	famsOf := make([]fams, numPre)
+	for c := 0; c < numPre; c++ {
+		if pools[c].Size() < need {
+			return nil, fmt.Errorf("decomp: pre-cluster %d gathered %d bits < %d needed for its families (increase BitsPerCluster)",
+				c, pools[c].Size(), need)
+		}
+		coeffs := make([]uint64, kFam)
+		for i := range coeffs {
+			coeffs[i] = pools[c].Word(m)
+		}
+		fs, err := randomness.NewKWiseFromSeed(m, coeffs)
+		if err != nil {
+			return nil, err
+		}
+		for i := range coeffs {
+			coeffs[i] = pools[c].Word(m)
+		}
+		fr, err := randomness.NewKWiseFromSeed(m, coeffs)
+		if err != nil {
+			return nil, err
+		}
+		famsOf[c] = fams{sample: fs, radius: fr}
+	}
+
+	srCfg := SharedRandConfig{C: 4}
+	cRad := 4
+	capFlips := cRad * lg
+	p := 1
+	for (1<<p)*lg < n {
+		p++
+	}
+	maxPhases := 8*lg + 8
+	srCfg.MaxPhases = maxPhases
+	if err := checkPointBounds(n, maxPhases, p, capFlips, m); err != nil {
+		return nil, err
+	}
+	sample := func(v, phase, epoch int) bool {
+		prob := float64(int64(1)<<uint(epoch)) * float64(lg) / float64(n)
+		if prob >= 1 {
+			return true
+		}
+		const t = 20
+		numer := uint64(prob * float64(uint64(1)<<t))
+		return famsOf[pre[v]].sample.Bernoulli(packPoint(v, phase, epoch, 0, maxPhases, p, capFlips), numer, t)
+	}
+	radius := func(v, phase, epoch int) int {
+		fam := famsOf[pre[v]].radius
+		for j := 0; j < capFlips; j++ {
+			if fam.Bit(packPoint(v, phase, epoch, j, maxPhases, p, capFlips)) == 0 {
+				return j + 1
+			}
+		}
+		return capFlips
+	}
+	d, phases, rounds, err := sharedRandCore(g, srCfg, sample, radius)
+	if err != nil {
+		return nil, err
+	}
+	return &StrongLowRandResult{
+		Decomposition:  d,
+		Phases:         phases,
+		BitsGathered:   gathered,
+		AnalyticRounds: rs.AnalyticRounds + 2*hPrime*lg + rounds,
+	}, nil
+}

@@ -1,0 +1,167 @@
+// Package derand implements the paper's Section 4 derandomization devices:
+//
+//   - Lemma 4.1's counting argument, made executable at small scale:
+//     SeedSearch enumerates a bounded seed space against EVERY graph in a
+//     family and returns a single seed that succeeds on all of them —
+//     which is precisely how an error probability below 2^{-n²} implies a
+//     deterministic algorithm (fewer than 2^{n²} graphs exist to fail on).
+//
+//   - Theorem 4.3/4.6's "lying about n": InflatedENConfig derives the
+//     Elkin–Neiman parameters for a declared size N ≥ n, so running on an
+//     n-node graph inherits the failure probability δ(N) at cost T(N) —
+//     the time-vs-error trade the theorems exploit.
+package derand
+
+import (
+	"fmt"
+
+	"randlocal/internal/decomp"
+	"randlocal/internal/graph"
+	"randlocal/internal/prng"
+	"randlocal/internal/randomness"
+)
+
+// Problem is a locally checkable problem paired with a seeded zero-round
+// algorithm, as used by the seed-search demonstration: Solve computes every
+// node's output from (seed, node ID) only, and Valid checks the result.
+type Problem struct {
+	Name  string
+	Solve func(seed uint64, g *graph.Graph, ids []uint64) []int
+	Valid func(g *graph.Graph, ids []uint64, out []int) bool
+}
+
+// SeedSearchResult reports the outcome of the Lemma 4.1 enumeration.
+type SeedSearchResult struct {
+	// Seed is the first seed that succeeded on every instance.
+	Seed uint64
+	// Tried is the number of seeds examined.
+	Tried int
+	// PerSeedFailures[s] counts how many instances seed s failed on —
+	// the empirical version of the union bound in the lemma's proof.
+	PerSeedFailures []int
+}
+
+// SeedSearch enumerates seeds 0..seedSpace-1 against every provided
+// instance and returns the first seed valid on all of them. The existence
+// of such a seed for a rich enough family is the content of Lemma 4.1: if
+// every seed failed somewhere, the algorithm's success probability could
+// not exceed 1 − 1/seedSpace on the worst instance.
+func SeedSearch(p Problem, instances []*graph.Graph, idsOf func(*graph.Graph) []uint64, seedSpace int) (*SeedSearchResult, error) {
+	res := &SeedSearchResult{PerSeedFailures: make([]int, seedSpace)}
+	winner := -1
+	for s := 0; s < seedSpace; s++ {
+		fails := 0
+		for _, g := range instances {
+			ids := idsOf(g)
+			out := p.Solve(uint64(s), g, ids)
+			if !p.Valid(g, ids, out) {
+				fails++
+			}
+		}
+		res.PerSeedFailures[s] = fails
+		if fails == 0 && winner < 0 {
+			winner = s
+		}
+	}
+	res.Tried = seedSpace
+	if winner < 0 {
+		return res, fmt.Errorf("derand: no seed in [0,%d) works on all %d instances — the algorithm's error probability is too high for this seed space",
+			seedSpace, len(instances))
+	}
+	res.Seed = uint64(winner)
+	return res, nil
+}
+
+// AllGraphs enumerates every labeled simple graph on n nodes (2^C(n,2)
+// graphs — keep n tiny). This is the family Gn from the Lemma 4.1 proof,
+// restricted to a fixed ID assignment.
+func AllGraphs(n int) []*graph.Graph {
+	pairs := n * (n - 1) / 2
+	out := make([]*graph.Graph, 0, 1<<pairs)
+	for mask := 0; mask < 1<<pairs; mask++ {
+		b := graph.NewBuilder(n)
+		idx := 0
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if mask>>idx&1 == 1 {
+					b.AddEdge(u, v)
+				}
+				idx++
+			}
+		}
+		out = append(out, b.Graph())
+	}
+	return out
+}
+
+// NeighborhoodSplitting is the demonstration problem for SeedSearch, a
+// graph-native miniature of the splitting problem: every node whose degree
+// is at least minDegree must see BOTH colors among its neighbors. A
+// zero-round algorithm colors each node by one seed-derived bit; the
+// per-node failure probability is 2^{1-minDegree}, so for rich seed spaces
+// a universal seed exists — and, unlike problems constraining low-degree
+// nodes (a single edge can never be weak-2-colored in zero rounds), the
+// constraint is satisfiable by every balanced coloring.
+func NeighborhoodSplitting(minDegree int) Problem {
+	return Problem{
+		Name: fmt.Sprintf("neighborhood-splitting(d>=%d)", minDegree),
+		Solve: func(seed uint64, g *graph.Graph, ids []uint64) []int {
+			out := make([]int, g.N())
+			// Expand the seed into family coefficients by hashing, so that
+			// even small seed spaces explore diverse colorings.
+			fam, err := randomness.NewKWiseFromSeed(16, []uint64{
+				prng.Hash64(seed),
+				prng.Hash64(seed ^ 0xA5A5A5A5),
+				prng.Hash64(seed ^ 0x5A5A5A5A),
+			})
+			if err != nil {
+				panic(err) // static parameters; cannot fail
+			}
+			for v := range out {
+				out[v] = int(fam.Bit(ids[v]))
+			}
+			return out
+		},
+		Valid: func(g *graph.Graph, ids []uint64, out []int) bool {
+			for v := 0; v < g.N(); v++ {
+				if g.Degree(v) < minDegree {
+					continue
+				}
+				var saw [2]bool
+				for _, w := range g.Neighbors(v) {
+					saw[out[w]&1] = true
+				}
+				if !saw[0] || !saw[1] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// InflatedENConfig returns the Elkin–Neiman configuration a non-uniform
+// algorithm would use when told the network has declaredN nodes: phase
+// count and radius cap scale with log declaredN, so the per-node failure
+// probability drops to poly(1/declaredN) while the round complexity grows
+// to T(declaredN) — the Theorem 4.3 trade-off, measured by experiment E7.
+func InflatedENConfig(declaredN int) decomp.ENConfig {
+	lg := 0
+	for 1<<lg < declaredN {
+		lg++
+	}
+	return decomp.ENConfig{
+		MaxPhases: 12*lg + 8,
+		RadiusCap: 2*lg + 4,
+	}
+}
+
+// RequiredInflation computes the declared size N needed by Theorem 4.3 /
+// Lemma 4.1 so that the failure bound δ(N) = N^{-c} falls below 2^{-n²}:
+// the smallest N with c·log₂(N) ≥ n². (Astronomically large for real n —
+// that is the theorem's point; the function exists so experiments can
+// print the trade-off curve.)
+func RequiredInflation(n, c int) float64 {
+	// log2(N) >= n^2 / c  =>  N = 2^{n²/c}.
+	return float64(n*n) / float64(c)
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"randlocal/internal/decomp"
+	"randlocal/internal/graph"
+	"randlocal/internal/orientation"
+	"randlocal/internal/prng"
+	"randlocal/internal/randomness"
+)
+
+// E10Ablations runs the design-choice ablations DESIGN.md calls out:
+// (a) engine equivalence — the goroutine/channel α-synchronizer versus the
+// deterministic scheduler on identical seeds; (b) MPX single-pass
+// partition versus EN's gap-rule carving; (c) the ABCP96 re-coloring
+// transform; (d) sinkless orientation's round scaling — the Section 1.1
+// exponential-separation example, whose randomized complexity is
+// Θ(log log n) on constant-degree graphs (our simple retry variant decays
+// geometrically, measured here).
+func E10Ablations(opt Options) *Table {
+	t := &Table{
+		ID:      "E10",
+		Title:   "Ablations: engines, MPX vs EN, re-coloring, sinkless orientation",
+		Claim:   "design choices behave as DESIGN.md §3 predicts",
+		Columns: []string{"ablation", "setting", "value", "detail"},
+	}
+	rng := prng.New(opt.Seed + 10)
+
+	// (b) MPX vs EN on the same graph.
+	g := graph.GNPConnected(512, 4.0/512, rng)
+	mpx, err := decomp.MPXPartition(g, randomness.NewFull(opt.Seed), nil)
+	if err == nil {
+		t.AddRow("mpx-vs-en", "MPX single pass", fmt.Sprintf("%d rounds", mpx.Rounds),
+			fmt.Sprintf("diam=%d cutEdges=%d/%d", mpx.MaxClusterDiameter, mpx.CutEdges, g.M()))
+	}
+	d, enRes, err := decomp.ElkinNeiman(g, randomness.NewFull(opt.Seed), nil, decomp.ENConfig{})
+	if err == nil {
+		t.AddRow("mpx-vs-en", "EN full carving", fmt.Sprintf("%d rounds", enRes.Rounds),
+			fmt.Sprintf("colors=%d diam=%d (a full colored decomposition, not just a partition)",
+				d.NumColors(), d.MaxClusterDiameter(g)))
+	}
+
+	// (c) ABCP96 re-coloring of a wasteful decomposition.
+	waste := &decomp.Decomposition{Cluster: make([]int, g.N()), Color: make([]int, g.N())}
+	for v := 0; v < g.N(); v++ {
+		waste.Cluster[v] = v
+		waste.Color[v] = v
+	}
+	improved, err := decomp.ImproveColors(g, waste)
+	if err == nil && improved.Validate(g, 0, 0) == nil {
+		t.AddRow("recolor", "singletons → ABCP96", fmt.Sprintf("%d → %d colors", g.N(), improved.NumColors()),
+			fmt.Sprintf("diam=%d", improved.MaxClusterDiameter(g)))
+	}
+
+	// (d) Sinkless orientation round scaling on tori.
+	for _, side := range []int{12, 24, 48} {
+		if opt.Quick && side > 24 {
+			break
+		}
+		torus := graph.Torus(side, side)
+		var rounds []float64
+		tr := trials(opt, 10)
+		for i := 0; i < tr; i++ {
+			res, err := orientation.Sinkless(torus, randomness.NewFull(opt.Seed+uint64(i)*3), 0)
+			if err != nil {
+				continue
+			}
+			if res.Orientation.Check(3) != nil {
+				continue
+			}
+			rounds = append(rounds, float64(res.Rounds))
+		}
+		r := summarize(rounds)
+		t.AddRow("sinkless", fmt.Sprintf("torus %dx%d (n=%d)", side, side, side*side),
+			fmt.Sprintf("%.1f rounds avg", r.mean),
+			fmt.Sprintf("max %d over %d trials; geometric sink decay", int(r.max), tr))
+	}
+	t.Notes = append(t.Notes,
+		"engine-equivalence (sequential ≡ concurrent given one seed) is asserted directly by the sim and mis test suites",
+		"sinkless orientation is the paper's §1.1 example of an exponential randomized/deterministic separation below O(log n)")
+	return t
+}

@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"fmt"
+
+	"randlocal/internal/check"
+	"randlocal/internal/decomp"
+	"randlocal/internal/graph"
+	"randlocal/internal/hypergraph"
+	"randlocal/internal/prng"
+	"randlocal/internal/randomness"
+	"randlocal/internal/splitting"
+)
+
+func sizes(opt Options) []int {
+	if opt.Quick {
+		return []int{256, 1024}
+	}
+	return []int{256, 1024, 4096}
+}
+
+func trials(opt Options, full int) int {
+	if opt.Quick {
+		if full > 4 {
+			return 4
+		}
+		return full
+	}
+	return full
+}
+
+// E1ElkinNeiman measures the [EN16] baseline of Section 2: an
+// (O(log n), O(log n)) strong-diameter decomposition in O(log² n) CONGEST
+// rounds w.h.p. The normalized columns (x/log n, rounds/log² n) must stay
+// flat as n grows for the claim's shape to hold.
+func E1ElkinNeiman(opt Options) *Table {
+	t := &Table{
+		ID:      "E1",
+		Title:   "Elkin–Neiman randomized network decomposition (baseline)",
+		Claim:   "(O(log n), O(log n)) decomposition, O(log² n) CONGEST rounds, w.h.p. [§2, EN16]",
+		Columns: []string{"graph", "n", "colors", "colors/lg", "diam", "diam/lg", "rounds", "rnds/lg²", "failures"},
+	}
+	rng := prng.New(opt.Seed + 1)
+	for _, n := range sizes(opt) {
+		for _, fam := range []struct {
+			name string
+			make func() *graph.Graph
+		}{
+			{"gnp(4/n)", func() *graph.Graph { return graph.GNPConnected(n, 4.0/float64(n), rng) }},
+			{"ring", func() *graph.Graph { return graph.Ring(n) }},
+			{"tree", func() *graph.Graph { return graph.RandomTree(n, rng) }},
+		} {
+			var colors, diams, rounds []float64
+			failures := 0
+			tr := trials(opt, 8)
+			for trial := 0; trial < tr; trial++ {
+				g := fam.make()
+				d, res, err := decomp.ElkinNeiman(g, randomness.NewFull(opt.Seed+uint64(trial)*131), nil, decomp.ENConfig{})
+				if err != nil {
+					failures++
+					continue
+				}
+				if err := d.Validate(g, 0, 0); err != nil {
+					failures++
+					continue
+				}
+				st := d.StatsOf(g)
+				colors = append(colors, float64(st.Colors))
+				diams = append(diams, float64(st.MaxDiameter))
+				rounds = append(rounds, float64(res.Rounds))
+			}
+			c, dm, r := summarize(colors), summarize(diams), summarize(rounds)
+			t.AddRow(fam.name, itoa(n), f1(c.mean), ratio(c.mean, n), f1(dm.mean), ratio(dm.mean, n),
+				d0(r.mean), fmt.Sprintf("%.2f", r.mean/(lg2(n)*lg2(n))), itoa(failures))
+		}
+	}
+	return t
+}
+
+// E2LowRand measures Theorem 3.1/3.7: decompositions from one private bit
+// per h-hop ball. The bits column is the total true randomness in the
+// network — the resource the theorem says suffices.
+func E2LowRand(opt Options) *Table {
+	t := &Table{
+		ID:      "E2",
+		Title:   "One bit of private randomness per poly(log n) hops (Thm 3.1 & 3.7)",
+		Claim:   "(O(log n), h·polylog n) decomposition from |holders| single bits; Thm 3.7 removes the h factor",
+		Columns: []string{"variant", "graph", "n", "h", "holders", "bits", "colors", "maxDiam", "preClusters", "ok"},
+	}
+	type inst struct {
+		name string
+		g    *graph.Graph
+		h    int
+		cfg  decomp.LowRandConfig
+	}
+	mk := func(n int) []inst {
+		return []inst{
+			{"ring", graph.Ring(n), 2, decomp.LowRandConfig{H: 2, BitsPerCluster: 64, RulingAlphaFactor: 4}},
+			{"ringOfCliques", graph.RingOfCliques(n/4, 4), 1, decomp.LowRandConfig{H: 1, BitsPerCluster: 24, RulingAlphaFactor: 2}},
+		}
+	}
+	ns := []int{1000, 2000}
+	if opt.Quick {
+		ns = []int{1000}
+	}
+	for _, n := range ns {
+		for _, in := range mk(n) {
+			holders := decomp.GreedyDominatingSet(in.g, in.h)
+			// Theorem 3.1 variant.
+			src, err := randomness.NewSparse(holders, 1, opt.Seed+uint64(n))
+			ok := "yes"
+			var colors, diam, pre int
+			if err == nil {
+				res, lErr := decomp.LowRand(in.g, src, holders, in.cfg)
+				if lErr != nil || res.Decomposition.Validate(in.g, 0, 0) != nil {
+					ok = "NO"
+				} else {
+					colors = res.Decomposition.NumColors()
+					diam = res.Decomposition.MaxClusterDiameter(in.g)
+					pre = res.DistinctPreClusters()
+				}
+			} else {
+				ok = "NO"
+			}
+			t.AddRow("Thm3.1", in.name, itoa(in.g.N()), itoa(in.h), itoa(len(holders)),
+				itoa(len(holders)), itoa(colors), itoa(diam), itoa(pre), ok)
+
+			// Theorem 3.7 variant (strong diameter O(log² n)); holders
+			// carry the poly(log n) per-cluster budget.
+			src37, err := randomness.NewSparse(holders, 48, opt.Seed+uint64(n)+1)
+			ok = "yes"
+			colors, diam = 0, 0
+			bits := 0
+			if err == nil {
+				res, sErr := decomp.StrongLowRand(in.g, src37, holders, in.cfg)
+				if sErr != nil || res.Decomposition.Validate(in.g, 0, 0) != nil {
+					ok = "NO"
+				} else {
+					colors = res.Decomposition.NumColors()
+					diam = res.Decomposition.MaxClusterDiameter(in.g)
+					bits = res.BitsGathered
+				}
+			} else {
+				ok = "NO"
+			}
+			t.AddRow("Thm3.7", in.name, itoa(in.g.N()), itoa(in.h), itoa(len(holders)),
+				itoa(bits), itoa(colors), itoa(diam), "-", ok)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"Thm3.1 rows: exactly one true random bit per holder in the whole network.",
+		"Thm3.7 rows: holders carry the poly(log n)-bit budget the theorem gathers per cluster; diameter no longer scales with h'.")
+	return t
+}
+
+// E3Splitting measures Lemma 3.4: the splitting problem solved in zero
+// rounds under shrinking randomness budgets, from Ω(n) private bits down to
+// O(log n) shared bits (the Naor–Naor route).
+func E3Splitting(opt Options) *Table {
+	t := &Table{
+		ID:      "E3",
+		Title:   "Splitting in zero rounds vs randomness budget (Lemma 3.4)",
+		Claim:   "success ≥ 1−1/n with O(log n) shared bits (ε-bias) or O(log² n) (k-wise); zero rounds in all regimes",
+		Columns: []string{"regime", "n(V)", "deg", "seed bits", "trials", "successes", "rate"},
+	}
+	rng := prng.New(opt.Seed + 3)
+	tr := trials(opt, 200)
+	for _, scale := range []struct{ nu, nv, deg int }{{100, 500, 40}, {200, 1000, 60}} {
+		inst := splitting.RandomInstance(scale.nu, scale.nv, scale.deg, rng)
+		// Private coins: nv true bits.
+		succ := 0
+		for i := 0; i < tr; i++ {
+			if inst.Check(splitting.SolvePrivate(inst, randomness.NewFull(opt.Seed+uint64(i)))) {
+				succ++
+			}
+		}
+		t.AddRow("private", itoa(scale.nv), itoa(scale.deg), itoa(scale.nv), itoa(tr), itoa(succ), f2(float64(succ)/float64(tr)))
+		// k-wise: k·m seed bits.
+		succ = 0
+		k, m := 16, uint(32)
+		for i := 0; i < tr; i++ {
+			fam, err := randomness.NewKWise(k, m, prng.New(opt.Seed+uint64(i)*77+5))
+			if err == nil && inst.Check(splitting.SolveKWise(inst, fam)) {
+				succ++
+			}
+		}
+		t.AddRow("k-wise(16)", itoa(scale.nv), itoa(scale.deg), itoa(k*int(m)), itoa(tr), itoa(succ), f2(float64(succ)/float64(tr)))
+		// ε-bias: 2m seed bits.
+		succ = 0
+		for i := 0; i < tr; i++ {
+			gen, err := randomness.NewEpsBias(24, prng.New(opt.Seed+uint64(i)*91+11))
+			if err == nil && inst.Check(splitting.SolveEpsBias(inst, gen)) {
+				succ++
+			}
+		}
+		t.AddRow("eps-bias", itoa(scale.nv), itoa(scale.deg), "48", itoa(tr), itoa(succ), f2(float64(succ)/float64(tr)))
+		// Method of conditional expectations: zero randomness, SLOCAL
+		// locality 1 — the pessimistic-estimator derandomization.
+		if colors, err := splitting.ConditionalExpectations(inst); err == nil && inst.Check(colors) {
+			t.AddRow("cond-exp(det)", itoa(scale.nv), itoa(scale.deg), "0", "1", "1", "1.00")
+		} else {
+			t.AddRow("cond-exp(det)", itoa(scale.nv), itoa(scale.deg), "0", "1", "0", "0.00")
+		}
+	}
+	t.Notes = append(t.Notes, "all regimes run in zero communication rounds: colors are functions of (seed, own ID) only")
+	return t
+}
+
+// E4KWise measures Theorem 3.5: poly(log n)-wise independence suffices.
+// Two probes: (a) the conflict-free multi-coloring pipeline's marking step
+// as a function of k, and (b) the Elkin–Neiman decomposition with radii
+// drawn from a k-wise family instead of fresh coins.
+func E4KWise(opt Options) *Table {
+	t := &Table{
+		ID:      "E4",
+		Title:   "Limited independence suffices (Thm 3.5)",
+		Claim:   "Θ(log² n)-wise independent bits suffice for CFMC marking and for the decomposition itself",
+		Columns: []string{"probe", "n", "k", "trials", "successes", "rate", "detail"},
+	}
+	tr := trials(opt, 30)
+	// (a) Hypergraph marking with varying independence.
+	n := 600
+	rng := prng.New(opt.Seed + 4)
+	h := &hypergraph.Hypergraph{N: n}
+	for e := 0; e < 25; e++ {
+		size := 64 + rng.Intn(64)
+		perm := rng.Perm(n)
+		h.Edges = append(h.Edges, append([]int(nil), perm[:size]...))
+	}
+	for _, k := range []int{2, 8, 32, 96} {
+		succ := 0
+		minMark, maxMark := 1<<30, 0
+		for i := 0; i < tr; i++ {
+			fam, err := randomness.NewKWise(k, 64, prng.New(opt.Seed+uint64(i)*13+uint64(k)))
+			if err != nil {
+				continue
+			}
+			res, err := hypergraph.Solve(h, fam, 8, 12)
+			if err == nil && check.ConflictFree(h.Edges, res.ColorSets) == nil {
+				succ++
+				if res.MarkedMin < minMark {
+					minMark = res.MarkedMin
+				}
+				if res.MarkedMax > maxMark {
+					maxMark = res.MarkedMax
+				}
+			}
+		}
+		detail := "-"
+		if succ > 0 {
+			detail = fmt.Sprintf("marked∈[%d,%d]", minMark, maxMark)
+		}
+		t.AddRow("CFMC-mark", itoa(n), itoa(k), itoa(tr), itoa(succ), f2(float64(succ)/float64(tr)), detail)
+	}
+	// (b) EN with k-wise radii.
+	for _, k := range []int{2, 8, 64} {
+		succ := 0
+		gN := 512
+		if opt.Quick {
+			gN = 256
+		}
+		for i := 0; i < trials(opt, 10); i++ {
+			g := graph.GNPConnected(gN, 4.0/float64(gN), prng.New(opt.Seed+uint64(i)))
+			fam, err := randomness.NewKWise(k, 64, prng.New(opt.Seed+uint64(i)*31+uint64(k)*7))
+			if err != nil {
+				continue
+			}
+			cap := 0
+			cfg := decomp.ENConfig{}
+			// Derive the default cap for the radius function.
+			capFor := func(n int) int {
+				lg := 0
+				for 1<<lg < n {
+					lg++
+				}
+				return 2*lg + 4
+			}
+			cap = capFor(gN)
+			cfg.Radius = func(v, phase int) int {
+				for j := 0; j < cap; j++ {
+					if fam.Bit(uint64(v)*4096+uint64(phase)*64+uint64(j)) == 0 {
+						return j + 1
+					}
+				}
+				return cap
+			}
+			d, _, err := decomp.ElkinNeiman(g, randomness.NewFull(1), nil, cfg)
+			if err == nil && d.Validate(g, 0, 0) == nil {
+				succ++
+			}
+		}
+		t.AddRow("EN-radii", itoa(512), itoa(k), itoa(trials(opt, 10)), itoa(succ), f2(float64(succ)/float64(trials(opt, 10))), "-")
+	}
+	t.Notes = append(t.Notes, "even tiny k often succeeds on random instances; the theorem guarantees Θ(log² n) against every graph")
+	return t
+}
+
+// E5SharedRand measures Theorem 3.6: decomposition from poly(log n) shared
+// bits only, in the CONGEST model.
+func E5SharedRand(opt Options) *Table {
+	t := &Table{
+		ID:      "E5",
+		Title:   "Shared randomness only (Thm 3.6)",
+		Claim:   "(O(log n), O(log² n)) decomposition with congestion 1 from poly(log n) shared bits, no private randomness",
+		Columns: []string{"graph", "n", "seedBits", "colors", "colors/lg", "maxDiam", "diam/lg²", "phases", "ok"},
+	}
+	rng := prng.New(opt.Seed + 5)
+	ns := []int{256, 512}
+	if !opt.Quick {
+		ns = append(ns, 1024)
+	}
+	for _, n := range ns {
+		for _, fam := range []struct {
+			name string
+			make func() *graph.Graph
+		}{
+			{"gnp(3/n)", func() *graph.Graph { return graph.GNPConnected(n, 3.0/float64(n), rng) }},
+			{"grid", func() *graph.Graph { s := isqrt(n); return graph.Grid(s, s) }},
+		} {
+			g := fam.make()
+			shared := randomness.NewShared(300_000, prng.New(opt.Seed+uint64(n)*3))
+			res, err := decomp.SharedRand(g, shared, decomp.SharedRandConfig{})
+			ok := "yes"
+			var colors, diam, phases, seed int
+			if err != nil || res.Decomposition.Validate(g, 0, 0) != nil {
+				ok = "NO"
+			} else {
+				colors = res.Decomposition.NumColors()
+				diam = res.Decomposition.MaxClusterDiameter(g)
+				phases = res.Phases
+				seed = res.SeedBitsUsed
+			}
+			nn := g.N()
+			t.AddRow(fam.name, itoa(nn), itoa(seed), itoa(colors), ratio(float64(colors), nn),
+				itoa(diam), fmt.Sprintf("%.2f", float64(diam)/(lg2(nn)*lg2(nn))), itoa(phases), ok)
+		}
+	}
+	return t
+}
+
+func isqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}

@@ -1,0 +1,162 @@
+// Package experiments regenerates every experiment table in EXPERIMENTS.md.
+// The paper is a theory paper with no empirical tables of its own, so each
+// experiment operationalizes one quantitative claim (see DESIGN.md §3):
+// the measured columns sit next to the paper's bound so the "shape" of each
+// theorem — who wins, what scales like what — is directly visible.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	// Quick shrinks sizes and trial counts for CI-speed runs.
+	Quick bool
+	// Seed is the master seed; experiments derive per-trial seeds from it.
+	Seed uint64
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper's claim being exercised
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned plain text (also valid Markdown when
+// pasted into a code block).
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(w, "claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// stats summarizes a sample.
+type stats struct {
+	mean, max, min float64
+}
+
+func summarize(xs []float64) stats {
+	if len(xs) == 0 {
+		return stats{}
+	}
+	s := stats{min: math.Inf(1), max: math.Inf(-1)}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+		if x > s.max {
+			s.max = x
+		}
+		if x < s.min {
+			s.min = x
+		}
+	}
+	s.mean = total / float64(len(xs))
+	return s
+}
+
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func d0(x float64) string { return fmt.Sprintf("%.0f", x) }
+func itoa(x int) string   { return fmt.Sprintf("%d", x) }
+func i64(x int64) string  { return fmt.Sprintf("%d", x) }
+func lg2(n int) float64   { return math.Log2(float64(n)) }
+func ratio(x float64, n int) string {
+	return fmt.Sprintf("%.2f", x/lg2(n))
+}
+
+// All runs every experiment in order.
+func All(opt Options) []*Table {
+	tables := []*Table{
+		E1ElkinNeiman(opt),
+		E2LowRand(opt),
+		E3Splitting(opt),
+		E4KWise(opt),
+		E5SharedRand(opt),
+		E6Shattering(opt),
+		E7Derand(opt),
+		E8Derandomize(opt),
+		E9Ledger(opt),
+		E10Ablations(opt),
+	}
+	return tables
+}
+
+// RenderAll renders every experiment to w.
+func RenderAll(w io.Writer, opt Options) {
+	for _, t := range All(opt) {
+		t.Render(w)
+	}
+}
+
+// ByID returns the experiment runner for an id like "E3", or nil.
+func ByID(id string) func(Options) *Table {
+	m := map[string]func(Options) *Table{
+		"E1":  E1ElkinNeiman,
+		"E2":  E2LowRand,
+		"E3":  E3Splitting,
+		"E4":  E4KWise,
+		"E5":  E5SharedRand,
+		"E6":  E6Shattering,
+		"E7":  E7Derand,
+		"E8":  E8Derandomize,
+		"E9":  E9Ledger,
+		"E10": E10Ablations,
+	}
+	return m[strings.ToUpper(id)]
+}
+
+// IDs lists the experiment identifiers in order.
+func IDs() []string {
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+	sort.Strings(ids)
+	return ids
+}

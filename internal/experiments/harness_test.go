@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	opt := Options{Quick: true, Seed: 1}
+	tables := All(opt)
+	if len(tables) != 10 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	for _, tab := range tables {
+		if tab.ID == "" || tab.Title == "" || tab.Claim == "" {
+			t.Errorf("table %q missing metadata", tab.ID)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("table %s has no rows", tab.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Columns) {
+				t.Errorf("table %s row width %d != %d columns", tab.ID, len(row), len(tab.Columns))
+			}
+			for _, cell := range row {
+				if strings.Contains(cell, "NO") {
+					t.Errorf("table %s reports a failure row: %v", tab.ID, row)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		tab.Render(&buf)
+		if !strings.Contains(buf.String(), tab.ID) {
+			t.Errorf("render of %s missing its ID", tab.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if ByID("E3") == nil || ByID("e3") == nil {
+		t.Error("ByID lookup failed")
+	}
+	if ByID("E42") != nil {
+		t.Error("unknown ID resolved")
+	}
+	if len(IDs()) != 10 {
+		t.Error("IDs() wrong length")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := summarize([]float64{1, 2, 3})
+	if s.mean != 2 || s.min != 1 || s.max != 3 {
+		t.Errorf("summarize = %+v", s)
+	}
+	if z := summarize(nil); z.mean != 0 {
+		t.Errorf("empty summarize = %+v", z)
+	}
+}

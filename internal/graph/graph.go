@@ -1,0 +1,226 @@
+// Package graph provides the undirected-graph substrate used by every
+// simulator and algorithm in this repository: a compact adjacency
+// representation, generators for the graph families that the paper's
+// constructions are exercised on, traversals, graph powers, and the
+// cluster-graph contraction used by network-decomposition algorithms.
+//
+// Nodes are identified by dense indices 0..N()-1. The separate notion of a
+// (possibly adversarial) Θ(log n)-bit identifier lives in package sim, which
+// assigns identifiers on top of these indices.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph. The zero value is the empty
+// graph with no nodes. Construct graphs with a Builder or a generator.
+type Graph struct {
+	adj   [][]int // sorted neighbor lists
+	edges int
+}
+
+// ErrNodeRange is returned when a node index is outside [0, N()).
+var ErrNodeRange = errors.New("graph: node index out of range")
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.edges }
+
+// Degree returns the degree of node v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted neighbor list of v. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// HasEdge reports whether {u, v} is an edge. It runs in O(log deg(u)).
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return false
+	}
+	ns := g.adj[u]
+	i := sort.SearchInts(ns, v)
+	return i < len(ns) && ns[i] == v
+}
+
+// PortOf returns the index of neighbor v in u's neighbor list, or -1 when
+// {u, v} is not an edge. Ports are how CONGEST/LOCAL node programs address
+// their neighbors without knowing global indices (the KT0 assumption).
+func (g *Graph) PortOf(u, v int) int {
+	ns := g.adj[u]
+	i := sort.SearchInts(ns, v)
+	if i < len(ns) && ns[i] == v {
+		return i
+	}
+	return -1
+}
+
+// MaxDegree returns the maximum degree Δ, or 0 for the empty graph.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for _, ns := range g.adj {
+		if len(ns) > d {
+			d = len(ns)
+		}
+	}
+	return d
+}
+
+// MinDegree returns the minimum degree, or 0 for the empty graph.
+func (g *Graph) MinDegree() int {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	d := len(g.adj[0])
+	for _, ns := range g.adj[1:] {
+		if len(ns) < d {
+			d = len(ns)
+		}
+	}
+	return d
+}
+
+// AvgDegree returns the average degree 2M/N, or 0 for the empty graph.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.edges) / float64(len(g.adj))
+}
+
+// Edges calls fn once per edge with u < v. Iteration order is deterministic.
+func (g *Graph) Edges(fn func(u, v int)) {
+	for u, ns := range g.adj {
+		for _, v := range ns {
+			if u < v {
+				fn(u, v)
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	adj := make([][]int, len(g.adj))
+	for i, ns := range g.adj {
+		adj[i] = append([]int(nil), ns...)
+	}
+	return &Graph{adj: adj, edges: g.edges}
+}
+
+// Equal reports whether g and h have identical node sets and edge sets.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.N() != h.N() || g.M() != h.M() {
+		return false
+	}
+	for v := range g.adj {
+		a, b := g.adj[v], h.adj[v]
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d Δ=%d}", g.N(), g.M(), g.MaxDegree())
+}
+
+// Validate checks internal invariants: sorted neighbor lists without
+// duplicates or self-loops, symmetric adjacency, and a consistent edge count.
+// Generators and Builder always produce valid graphs; Validate exists for
+// tests and for defensive checks after hand-built graphs.
+func (g *Graph) Validate() error {
+	count := 0
+	for u, ns := range g.adj {
+		for i, v := range ns {
+			if v < 0 || v >= len(g.adj) {
+				return fmt.Errorf("graph: node %d has out-of-range neighbor %d: %w", u, v, ErrNodeRange)
+			}
+			if v == u {
+				return fmt.Errorf("graph: node %d has a self-loop", u)
+			}
+			if i > 0 && ns[i-1] >= v {
+				return fmt.Errorf("graph: node %d neighbor list not strictly sorted at position %d", u, i)
+			}
+			if !g.HasEdge(v, u) {
+				return fmt.Errorf("graph: edge {%d,%d} not symmetric", u, v)
+			}
+			count++
+		}
+	}
+	if count != 2*g.edges {
+		return fmt.Errorf("graph: edge count %d inconsistent with adjacency half-edges %d", g.edges, count)
+	}
+	return nil
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate edges
+// and self-loops are silently dropped, so generators can over-propose edges.
+type Builder struct {
+	n   int
+	adj [][]int
+}
+
+// NewBuilder returns a builder for a graph on n nodes. It panics if n < 0.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n, adj: make([][]int, n)}
+}
+
+// AddEdge records the undirected edge {u, v}. Self-loops are ignored.
+// It panics if an endpoint is out of range (a programming error in callers).
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d) out of range for n=%d", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	b.adj[u] = append(b.adj[u], v)
+	b.adj[v] = append(b.adj[v], u)
+}
+
+// Graph finalizes the builder: it sorts and deduplicates neighbor lists and
+// returns the immutable graph. The builder may be reused afterwards; edges
+// added so far remain.
+func (b *Builder) Graph() *Graph {
+	adj := make([][]int, b.n)
+	edges := 0
+	for v := range b.adj {
+		ns := append([]int(nil), b.adj[v]...)
+		sort.Ints(ns)
+		out := ns[:0]
+		for i, w := range ns {
+			if i > 0 && ns[i-1] == w {
+				continue
+			}
+			out = append(out, w)
+		}
+		adj[v] = append([]int(nil), out...)
+		edges += len(out)
+	}
+	return &Graph{adj: adj, edges: edges / 2}
+}
+
+// FromEdges builds a graph on n nodes from an explicit edge list.
+func FromEdges(n int, edges [][2]int) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Graph()
+}

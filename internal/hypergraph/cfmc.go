@@ -1,0 +1,256 @@
+// Package hypergraph implements conflict-free hypergraph multi-coloring,
+// the problem Theorem 3.5 reduces network decomposition to (following
+// [GKM17]): multi-color the vertices with poly(log n) colors so that every
+// hyperedge has a color held by exactly one of its members.
+//
+// The structure follows the theorem's proof: hyperedges are bucketed into
+// log n size classes; large classes are sparsified by marking nodes with
+// probability Θ(log n)/2^i using a Θ(log² n)-wise independent family (the
+// theorem's randomness claim), which w.h.p. leaves Θ(log n) marked nodes
+// per edge; the reduced small edges are then colored deterministically.
+//
+// The deterministic small-edge solver substitutes a Reed–Solomon unique-
+// position construction for the (considerably more intricate) GKM17
+// derandomized algorithm: node v's color set is {(i, P_v(x_i))} for its ID
+// polynomial P_v evaluated at t points. Two distinct ID polynomials of
+// degree < d agree on at most d−1 points, so with t ≥ (s−1)·(d−1)+1 every
+// edge member has a position where its value differs from all other
+// members — a uniquely-held color. This is zero-round, deterministic, and
+// uses t·2^m = poly(s, log n) colors, which for polylogarithmic edge sizes
+// is poly(log n), matching the role the GKM17 solver plays in the theorem.
+package hypergraph
+
+import (
+	"fmt"
+
+	"randlocal/internal/randomness"
+)
+
+// Hypergraph is a hypergraph on N vertices.
+type Hypergraph struct {
+	N     int
+	Edges [][]int
+}
+
+// Validate checks vertex ranges and that no edge is empty.
+func (h *Hypergraph) Validate() error {
+	for i, e := range h.Edges {
+		if len(e) == 0 {
+			return fmt.Errorf("hypergraph: edge %d is empty", i)
+		}
+		seen := map[int]bool{}
+		for _, v := range e {
+			if v < 0 || v >= h.N {
+				return fmt.Errorf("hypergraph: edge %d references vertex %d out of range", i, v)
+			}
+			if seen[v] {
+				return fmt.Errorf("hypergraph: edge %d repeats vertex %d", i, v)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}
+
+// MaxEdgeSize returns the largest edge cardinality.
+func (h *Hypergraph) MaxEdgeSize() int {
+	s := 0
+	for _, e := range h.Edges {
+		if len(e) > s {
+			s = len(e)
+		}
+	}
+	return s
+}
+
+// rsParams selects the Reed–Solomon parameters for edges of size at most s
+// over n possible identifiers: field GF(2^m), ID polynomials of degree < d
+// (so q^d ≥ n), and t = (s−1)·(d−1)+1 evaluation points (requiring q ≥ t).
+func rsParams(n, s int) (m uint, d, t int, err error) {
+	for _, mTry := range []uint{4, 5, 6, 8, 10, 12, 16, 20, 24} {
+		q := 1 << mTry
+		d = 1
+		for pow := q; pow < n; pow *= q {
+			d++
+		}
+		dm1 := d - 1
+		if dm1 == 0 {
+			dm1 = 1 // distinct constants never agree; one point suffices
+		}
+		t = (s-1)*dm1 + 1
+		if q >= t {
+			return mTry, d, t, nil
+		}
+	}
+	return 0, 0, 0, fmt.Errorf("hypergraph: no field on file fits n=%d s=%d", n, s)
+}
+
+// SolveSmallDeterministic multi-colors a hypergraph whose edges all have
+// size at most s, with zero randomness and zero rounds: each vertex
+// computes its own color set from its identifier. Colors are pairs
+// (position, value) encoded as position·2^m + value; the color count is
+// t·2^m. It returns the per-vertex color sets.
+func SolveSmallDeterministic(h *Hypergraph, s int) ([][]int, int, error) {
+	if err := h.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if got := h.MaxEdgeSize(); got > s {
+		return nil, 0, fmt.Errorf("hypergraph: edge size %d exceeds declared bound %d", got, s)
+	}
+	if s < 1 {
+		s = 1
+	}
+	m, d, t, err := rsParams(maxInt(h.N, 2), s)
+	if err != nil {
+		return nil, 0, err
+	}
+	field := randomness.MustField(m)
+	q := uint64(1) << m
+	colorSets := make([][]int, h.N)
+	for v := 0; v < h.N; v++ {
+		// ID polynomial: base-q digits of v as coefficients.
+		coeffs := make([]uint64, d)
+		x := uint64(v)
+		for i := 0; i < d; i++ {
+			coeffs[i] = x % q
+			x /= q
+		}
+		set := make([]int, t)
+		for i := 0; i < t; i++ {
+			val := field.Eval(coeffs, uint64(i))
+			set[i] = i*int(q) + int(val)
+		}
+		colorSets[v] = set
+	}
+	return colorSets, t * int(q), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SolveResult carries the Theorem 3.5 pipeline's output and accounting.
+type SolveResult struct {
+	ColorSets [][]int
+	// Colors is the total size of the color namespace used.
+	Colors int
+	// Classes is the number of edge-size classes processed.
+	Classes int
+	// MarkedPerEdge records min and max marked-node counts over sparsified
+	// edges (the Θ(log n) concentration the k-wise Chernoff bound gives).
+	MarkedMin, MarkedMax int
+	// SeedBits is the true randomness consumed (the k-wise family seed).
+	SeedBits int
+}
+
+// Solve runs the full Theorem 3.5 construction: size-class bucketing,
+// k-wise marking of large classes with probability ≈ markTarget/2^i, and
+// the deterministic Reed–Solomon solver on each class. smallThreshold is
+// the edge size below which no sparsification is needed (the theorem's
+// poly(log n)); markTarget is the Θ(log n) target for marked nodes per
+// edge. The marking can fail (an edge ends up with 0 marked nodes); this
+// surfaces as an error, whose frequency experiment E4 measures as a
+// function of the independence k.
+func Solve(h *Hypergraph, fam *randomness.KWise, smallThreshold, markTarget int) (*SolveResult, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if smallThreshold < 2 {
+		return nil, fmt.Errorf("hypergraph: smallThreshold must be >= 2")
+	}
+	if markTarget < 1 {
+		return nil, fmt.Errorf("hypergraph: markTarget must be >= 1")
+	}
+	// Bucket edges into size classes [2^{i-1}, 2^i).
+	classes := map[int][][]int{}
+	for _, e := range h.Edges {
+		i := 1
+		for 1<<i <= len(e) {
+			i++
+		}
+		classes[i] = append(classes[i], e)
+	}
+	res := &SolveResult{
+		ColorSets: make([][]int, h.N),
+		MarkedMin: 1 << 30,
+		SeedBits:  fam.SeedBits(),
+	}
+	colorBase := 0
+	for class := 1; class <= 64; class++ {
+		edges, ok := classes[class]
+		if !ok {
+			continue
+		}
+		res.Classes++
+		classSize := 1 << class // upper bound on edge size in this class
+		sub := &Hypergraph{N: h.N, Edges: edges}
+		bound := classSize
+		if classSize > smallThreshold {
+			// Sparsify: mark vertices with probability markTarget/2^{i-1}
+			// (relative to the class's minimum size, so expectation is at
+			// least markTarget per edge), k-wise independently.
+			tBits := uint(1)
+			for 1<<tBits < classSize/2 {
+				tBits++
+			}
+			numer := uint64(markTarget) << tBits >> uint(class-1)
+			if numer == 0 {
+				numer = 1
+			}
+			marked := make(map[int]bool, h.N)
+			for v := 0; v < h.N; v++ {
+				point := uint64(class)<<40 | uint64(v)
+				if fam.Bernoulli(point, numer, tBits) {
+					marked[v] = true
+				}
+			}
+			reduced := make([][]int, len(edges))
+			for ei, e := range edges {
+				var keep []int
+				for _, v := range e {
+					if marked[v] {
+						keep = append(keep, v)
+					}
+				}
+				if len(keep) == 0 {
+					return nil, fmt.Errorf("hypergraph: class %d edge %d has no marked vertex (k-wise marking failed)", class, ei)
+				}
+				if len(keep) < res.MarkedMin {
+					res.MarkedMin = len(keep)
+				}
+				if len(keep) > res.MarkedMax {
+					res.MarkedMax = len(keep)
+				}
+				reduced[ei] = keep
+			}
+			sub = &Hypergraph{N: h.N, Edges: reduced}
+			bound = sub.MaxEdgeSize()
+		}
+		sets, colors, err := SolveSmallDeterministic(sub, bound)
+		if err != nil {
+			return nil, fmt.Errorf("hypergraph: class %d: %w", class, err)
+		}
+		// Namespace the class's colors and merge. Only vertices that occur
+		// in the class's (reduced) edges need the colors.
+		needed := map[int]bool{}
+		for _, e := range sub.Edges {
+			for _, v := range e {
+				needed[v] = true
+			}
+		}
+		for v := range needed {
+			for _, c := range sets[v] {
+				res.ColorSets[v] = append(res.ColorSets[v], colorBase+c)
+			}
+		}
+		colorBase += colors
+	}
+	res.Colors = colorBase
+	if res.MarkedMin == 1<<30 {
+		res.MarkedMin = 0
+	}
+	return res, nil
+}

@@ -1,0 +1,167 @@
+package hypergraph
+
+import (
+	"testing"
+
+	"randlocal/internal/check"
+	"randlocal/internal/prng"
+	"randlocal/internal/randomness"
+)
+
+func randomHypergraph(n, edges, minSize, maxSize int, rng *prng.SplitMix64) *Hypergraph {
+	h := &Hypergraph{N: n}
+	for e := 0; e < edges; e++ {
+		size := minSize + rng.Intn(maxSize-minSize+1)
+		perm := rng.Perm(n)
+		h.Edges = append(h.Edges, append([]int(nil), perm[:size]...))
+	}
+	return h
+}
+
+func TestValidate(t *testing.T) {
+	good := &Hypergraph{N: 3, Edges: [][]int{{0, 1}, {2}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, h := range map[string]*Hypergraph{
+		"empty edge":    {N: 3, Edges: [][]int{{}}},
+		"out of range":  {N: 3, Edges: [][]int{{0, 5}}},
+		"repeat vertex": {N: 3, Edges: [][]int{{1, 1}}},
+	} {
+		if err := h.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestSolveSmallDeterministic(t *testing.T) {
+	rng := prng.New(7)
+	for trial := 0; trial < 10; trial++ {
+		h := randomHypergraph(200, 50, 2, 8, rng)
+		sets, colors, err := SolveSmallDeterministic(h, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := check.ConflictFree(h.Edges, sets); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if colors <= 0 {
+			t.Error("no colors reported")
+		}
+	}
+}
+
+func TestSolveSmallDeterministicSingletons(t *testing.T) {
+	h := &Hypergraph{N: 5, Edges: [][]int{{0}, {4}}}
+	sets, _, err := SolveSmallDeterministic(h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.ConflictFree(h.Edges, sets); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveSmallDeterministicRejectsOversize(t *testing.T) {
+	h := &Hypergraph{N: 10, Edges: [][]int{{0, 1, 2, 3, 4}}}
+	if _, _, err := SolveSmallDeterministic(h, 3); err == nil {
+		t.Error("edge larger than declared bound accepted")
+	}
+}
+
+func TestSolveSmallDeterministicIsZeroRoundAndDeterministic(t *testing.T) {
+	// A vertex's color set depends on its own ID only: the same vertex in
+	// two different hypergraphs gets the same colors (same n bound).
+	h1 := &Hypergraph{N: 50, Edges: [][]int{{3, 4, 5}}}
+	h2 := &Hypergraph{N: 50, Edges: [][]int{{3, 9, 20, 31}}}
+	s1, _, err := SolveSmallDeterministic(h1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := SolveSmallDeterministic(h2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1[3]) != len(s2[3]) {
+		t.Fatal("vertex 3 got different color-set sizes in identical parameter settings")
+	}
+	for i := range s1[3] {
+		if s1[3][i] != s2[3][i] {
+			t.Fatal("vertex 3's colors depend on more than its own ID")
+		}
+	}
+}
+
+func TestSolveFullPipeline(t *testing.T) {
+	rng := prng.New(11)
+	// Mixed sizes: small edges (<= 8) and large ones (~64-128) that need
+	// the k-wise sparsification.
+	h := randomHypergraph(600, 30, 2, 8, rng)
+	big := randomHypergraph(600, 20, 64, 128, rng)
+	h.Edges = append(h.Edges, big.Edges...)
+	fam, err := randomness.NewKWise(64, 64, prng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(h, fam, 8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.ConflictFree(h.Edges, res.ColorSets); err != nil {
+		t.Fatalf("pipeline produced conflicted coloring: %v", err)
+	}
+	if res.Classes < 2 {
+		t.Errorf("expected multiple size classes, got %d", res.Classes)
+	}
+	if res.MarkedMin < 1 {
+		t.Errorf("marked min = %d", res.MarkedMin)
+	}
+	if res.SeedBits != 64*64 {
+		t.Errorf("seed bits = %d", res.SeedBits)
+	}
+	t.Logf("pipeline: colors=%d classes=%d marked∈[%d,%d]",
+		res.Colors, res.Classes, res.MarkedMin, res.MarkedMax)
+}
+
+func TestSolveParamValidation(t *testing.T) {
+	h := &Hypergraph{N: 4, Edges: [][]int{{0, 1}}}
+	fam, _ := randomness.NewKWise(4, 32, prng.New(1))
+	if _, err := Solve(h, fam, 1, 4); err == nil {
+		t.Error("smallThreshold < 2 accepted")
+	}
+	if _, err := Solve(h, fam, 4, 0); err == nil {
+		t.Error("markTarget < 1 accepted")
+	}
+	bad := &Hypergraph{N: 4, Edges: [][]int{{}}}
+	if _, err := Solve(bad, fam, 4, 4); err == nil {
+		t.Error("invalid hypergraph accepted")
+	}
+}
+
+func TestMaxEdgeSize(t *testing.T) {
+	h := &Hypergraph{N: 9, Edges: [][]int{{0}, {1, 2, 3}, {4, 5}}}
+	if h.MaxEdgeSize() != 3 {
+		t.Errorf("max edge size = %d", h.MaxEdgeSize())
+	}
+}
+
+func TestRSParamsFit(t *testing.T) {
+	for _, tc := range []struct{ n, s int }{{10, 2}, {1000, 8}, {100000, 16}, {1 << 20, 30}} {
+		m, d, tt, err := rsParams(tc.n, tc.s)
+		if err != nil {
+			t.Fatalf("n=%d s=%d: %v", tc.n, tc.s, err)
+		}
+		q := 1 << m
+		// q^d >= n and q >= t.
+		pow := 1
+		for i := 0; i < d; i++ {
+			pow *= q
+		}
+		if pow < tc.n {
+			t.Errorf("n=%d s=%d: q^d = %d < n", tc.n, tc.s, pow)
+		}
+		if q < tt {
+			t.Errorf("n=%d s=%d: q=%d < t=%d", tc.n, tc.s, q, tt)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package orientation implements sinkless orientation — the problem behind
+// the exponential randomized-vs-deterministic separation the paper's
+// Section 1.1 recounts ([BFH+16] lower bound, [GS17] Θ(log log n)
+// randomized vs Θ(log n) deterministic on constant-degree graphs): orient
+// every edge so that no node of degree ≥ minDegree has all incident edges
+// pointing inward (no "sink").
+//
+// The randomized algorithm here is the natural retry process on graphs of
+// minimum degree ≥ 3: every edge starts with a fair-coin orientation, and
+// in each round every sink re-randomizes its incident edges (the
+// lower-endpoint rule arbitrates shared edges). A sink survives a round
+// with probability at most 2^{−deg} plus neighbor interference, so the
+// process drains geometrically; the experiments measure the round count's
+// O(log n)-ish decay on tori. The package also provides the local checker
+// (sinklessness is the textbook locally checkable labeling).
+package orientation
+
+import (
+	"fmt"
+
+	"randlocal/internal/graph"
+	"randlocal/internal/randomness"
+)
+
+// Orientation assigns each edge a direction: Toward[u][i] = true means the
+// i-th incident edge of u (port i) points *toward* u. The two endpoint
+// views are kept consistent by construction.
+type Orientation struct {
+	g      *graph.Graph
+	Toward [][]bool
+}
+
+// New returns the all-outward orientation holder for g.
+func New(g *graph.Graph) *Orientation {
+	o := &Orientation{g: g, Toward: make([][]bool, g.N())}
+	for v := 0; v < g.N(); v++ {
+		o.Toward[v] = make([]bool, g.Degree(v))
+	}
+	return o
+}
+
+// Set orients edge {u, w} toward w (i.e. u→w), updating both views.
+func (o *Orientation) Set(u, w int, towardW bool) {
+	pu := o.g.PortOf(u, w)
+	pw := o.g.PortOf(w, u)
+	if pu < 0 || pw < 0 {
+		panic(fmt.Sprintf("orientation: {%d,%d} is not an edge", u, w))
+	}
+	o.Toward[u][pu] = !towardW
+	o.Toward[w][pw] = towardW
+}
+
+// IsSink reports whether every incident edge of v points toward v.
+func (o *Orientation) IsSink(v int) bool {
+	if o.g.Degree(v) == 0 {
+		return false
+	}
+	for _, in := range o.Toward[v] {
+		if !in {
+			return false
+		}
+	}
+	return true
+}
+
+// Check validates sinklessness for all nodes of degree >= minDegree and
+// the internal consistency of the two endpoint views.
+func (o *Orientation) Check(minDegree int) error {
+	var err error
+	o.g.Edges(func(u, w int) {
+		if err != nil {
+			return
+		}
+		pu, pw := o.g.PortOf(u, w), o.g.PortOf(w, u)
+		if o.Toward[u][pu] == o.Toward[w][pw] {
+			err = fmt.Errorf("orientation: edge {%d,%d} views inconsistent", u, w)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for v := 0; v < o.g.N(); v++ {
+		if o.g.Degree(v) >= minDegree && o.IsSink(v) {
+			return fmt.Errorf("orientation: node %d (degree %d) is a sink", v, o.g.Degree(v))
+		}
+	}
+	return nil
+}
+
+// Result carries the algorithm's output and accounting.
+type Result struct {
+	Orientation *Orientation
+	Rounds      int
+	// Retries counts total sink re-randomization events.
+	Retries int
+}
+
+// Sinkless runs the randomized retry process: round 0 randomizes every
+// edge (the lower endpoint flips the coin); in each later round, every
+// current sink redraws its incident edges. maxRounds 0 means 64·⌈log₂ n⌉.
+// It requires minimum degree >= 3 among constrained nodes for geometric
+// convergence and errors out if sinks survive the round budget.
+func Sinkless(g *graph.Graph, src randomness.Source, maxRounds int) (*Result, error) {
+	n := g.N()
+	if maxRounds == 0 {
+		lg := 1
+		for 1<<lg < n {
+			lg++
+		}
+		maxRounds = 64 * lg
+	}
+	o := New(g)
+	streams := make([]*randomness.Stream, n)
+	for v := 0; v < n; v++ {
+		if src.Has(v) {
+			streams[v] = src.Stream(v)
+		}
+	}
+	// Round 0: the lower endpoint of each edge orients it randomly.
+	g.Edges(func(u, w int) {
+		o.Set(u, w, streams[u].Bit() == 1)
+	})
+	res := &Result{Orientation: o}
+	for r := 1; r <= maxRounds; r++ {
+		var sinks []int
+		for v := 0; v < n; v++ {
+			if g.Degree(v) >= 3 && o.IsSink(v) {
+				sinks = append(sinks, v)
+			}
+		}
+		if len(sinks) == 0 {
+			res.Rounds = r - 1
+			return res, nil
+		}
+		// Each sink redraws its incident edges. Two sinks are never
+		// adjacent (a shared edge would point toward both, contradicting
+		// antisymmetry), so the redraw sets are edge-disjoint and the
+		// sequential loop below equals the parallel round.
+		for _, v := range sinks {
+			res.Retries++
+			for _, w := range g.Neighbors(v) {
+				o.Set(v, w, streams[v].Bit() == 1)
+			}
+		}
+	}
+	return nil, fmt.Errorf("orientation: sinks survived %d rounds", maxRounds)
+}

@@ -1,0 +1,142 @@
+package orientation
+
+import (
+	"math"
+	"testing"
+
+	"randlocal/internal/graph"
+	"randlocal/internal/prng"
+	"randlocal/internal/randomness"
+)
+
+func TestSetAndViews(t *testing.T) {
+	g := graph.Path(3)
+	o := New(g)
+	o.Set(0, 1, true) // 0 -> 1
+	if o.Toward[0][g.PortOf(0, 1)] || !o.Toward[1][g.PortOf(1, 0)] {
+		t.Error("views inconsistent after Set")
+	}
+	o.Set(0, 1, false) // 1 -> 0
+	if !o.Toward[0][g.PortOf(0, 1)] || o.Toward[1][g.PortOf(1, 0)] {
+		t.Error("views inconsistent after flip")
+	}
+}
+
+func TestSetPanicsOnNonEdge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set on non-edge did not panic")
+		}
+	}()
+	New(graph.Path(3)).Set(0, 2, true)
+}
+
+func TestIsSink(t *testing.T) {
+	g := graph.Star(4) // center 0, leaves 1..3
+	o := New(g)
+	for leaf := 1; leaf <= 3; leaf++ {
+		o.Set(leaf, 0, true) // all point to the center
+	}
+	if !o.IsSink(0) {
+		t.Error("center with all-inward edges should be a sink")
+	}
+	if o.IsSink(1) {
+		t.Error("leaf with outward edge is not a sink")
+	}
+	// Isolated nodes are never sinks.
+	iso := New(graph.NewBuilder(1).Graph())
+	if iso.IsSink(0) {
+		t.Error("isolated node counted as sink")
+	}
+}
+
+func TestCheckCatchesSink(t *testing.T) {
+	g := graph.Complete(4) // 3-regular
+	o := New(g)
+	for v := 1; v < 4; v++ {
+		o.Set(v, 0, true)
+	}
+	o.Set(1, 2, true)
+	o.Set(1, 3, true)
+	o.Set(2, 3, true)
+	if err := o.Check(3); err == nil {
+		t.Error("node 0 is a sink; Check accepted")
+	}
+	if err := o.Check(4); err != nil {
+		t.Errorf("no node has degree >= 4; Check should pass: %v", err)
+	}
+}
+
+func TestSinklessOnTorus(t *testing.T) {
+	// 4-regular torus: the constant-degree family of the separation
+	// results.
+	for _, side := range []int{8, 16, 24} {
+		g := graph.Torus(side, side)
+		src := randomness.NewFull(uint64(side))
+		res, err := Sinkless(g, src, 0)
+		if err != nil {
+			t.Fatalf("side %d: %v", side, err)
+		}
+		if err := res.Orientation.Check(3); err != nil {
+			t.Fatalf("side %d: %v", side, err)
+		}
+		if float64(res.Rounds) > 8*math.Log2(float64(g.N()))+8 {
+			t.Errorf("side %d: %d rounds, beyond the O(log n) envelope", side, res.Rounds)
+		}
+	}
+}
+
+func TestSinklessOnRandomRegular(t *testing.T) {
+	rng := prng.New(7)
+	for _, d := range []int{3, 4, 6} {
+		g := graph.RandomRegular(120, d, rng)
+		res, err := Sinkless(g, randomness.NewFull(uint64(d)*17), 0)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if err := res.Orientation.Check(3); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+	}
+}
+
+func TestSinklessLowDegreeUnconstrained(t *testing.T) {
+	// Paths and rings have max degree 2 < 3: nothing is constrained, the
+	// initial random orientation is already fine.
+	g := graph.Ring(10)
+	res, err := Sinkless(g, randomness.NewFull(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 {
+		t.Errorf("rounds = %d on an unconstrained graph", res.Rounds)
+	}
+}
+
+func TestSinklessRandomnessAccounted(t *testing.T) {
+	g := graph.Torus(10, 10)
+	src := randomness.NewFull(4)
+	res, err := Sinkless(g, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One bit per edge plus 4 per retry.
+	wantMin := int64(g.M())
+	got := src.Ledger().TrueBits()
+	if got < wantMin || got > wantMin+int64(4*res.Retries) {
+		t.Errorf("bits = %d, want within [%d, %d]", got, wantMin, wantMin+int64(4*res.Retries))
+	}
+}
+
+func TestSinklessRoundBudgetError(t *testing.T) {
+	// maxRounds = 1 on a dense K4: likely some sink survives round 1 for
+	// some seed; find one such seed to exercise the error path.
+	g := graph.Complete(4)
+	for seed := uint64(0); seed < 200; seed++ {
+		_, err := Sinkless(g, randomness.NewFull(seed), 1)
+		if err != nil {
+			return // error path exercised
+		}
+	}
+	t.Skip("no seed kept a sink past round 1")
+}

@@ -1,0 +1,251 @@
+// Package protocols provides the classic building-block CONGEST protocols
+// used throughout the constructions and available to downstream users of
+// the simulator: bounded flooding (leader election by minimum identifier),
+// BFS-tree construction, and convergecast aggregation along the tree.
+// These are exactly the "simple flooding", "parallel BFS explorations" and
+// "upcast on the tree" primitives the paper's Lemmas 3.2/3.3 and
+// Theorem 4.2 invoke; having them as tested node programs makes the round
+// accounting of the composite constructions concrete.
+package protocols
+
+import (
+	"fmt"
+
+	"randlocal/internal/graph"
+	"randlocal/internal/sim"
+)
+
+// FloodMinProgram floods the minimum identifier for a fixed number of
+// rounds; with rounds ≥ the (component) diameter every node learns the
+// component's minimum — leader election under known network size.
+type FloodMinProgram struct {
+	Rounds int
+	ctx    *sim.NodeCtx
+	best   uint64
+}
+
+// NewFloodMin returns the program; rounds 0 means ctx.N (always enough).
+func NewFloodMin(rounds int) *FloodMinProgram { return &FloodMinProgram{Rounds: rounds} }
+
+func (f *FloodMinProgram) Init(ctx *sim.NodeCtx) {
+	f.ctx = ctx
+	f.best = ctx.ID
+	if f.Rounds == 0 {
+		f.Rounds = ctx.N
+	}
+}
+
+// Round implements sim.NodeProgram.
+func (f *FloodMinProgram) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
+	for _, m := range inbox {
+		if m == nil {
+			continue
+		}
+		if x, _, ok := sim.ReadUint(m); ok && x < f.best {
+			f.best = x
+		}
+	}
+	if r >= f.Rounds {
+		return nil, true
+	}
+	out := make([]sim.Message, f.ctx.Degree)
+	payload := sim.Uints(f.best)
+	for p := range out {
+		out[p] = payload
+	}
+	return out, false
+}
+
+// Output returns the minimum identifier heard.
+func (f *FloodMinProgram) Output() uint64 { return f.best }
+
+// BFSOutput is the per-node result of the BFS-tree protocol.
+type BFSOutput struct {
+	// Dist is the hop distance from the root (-1 when unreached).
+	Dist int
+	// ParentPort is the port toward the parent (-1 at the root and at
+	// unreached nodes).
+	ParentPort int
+	// SubtreeSize is the number of nodes in this node's subtree (set by
+	// the convergecast phase; 0 when unreached).
+	SubtreeSize int
+}
+
+// bfsTree builds a BFS tree from the node whose identifier equals RootID
+// and then convergecasts subtree sizes to the root: the "build a cluster
+// around each center and upcast" motif of Lemma 3.2 and Theorem 4.2, as a
+// self-contained three-phase program.
+//
+// Phase A (rounds 0..T): the root wave; each node adopts the first sender
+// as parent and forwards. Phase B (round T+1): every node announces its
+// parent's identity so nodes learn their children. Phase C: leaves send
+// their subtree size (1) up; internal nodes forward once all children have
+// reported. All messages are a constant number of varints — CONGEST-sized.
+type bfsTree struct {
+	RootID   uint64
+	Depth    int // wave budget T; 0 means ctx.N
+	ctx      *sim.NodeCtx
+	out      BFSOutput
+	children []int // ports of children
+	reported map[int]int
+	sentUp   bool
+}
+
+func (b *bfsTree) Init(ctx *sim.NodeCtx) {
+	b.ctx = ctx
+	if b.Depth == 0 {
+		b.Depth = ctx.N
+	}
+	b.out = BFSOutput{Dist: -1, ParentPort: -1}
+	b.reported = map[int]int{}
+	if ctx.ID == b.RootID {
+		b.out.Dist = 0
+	}
+}
+
+const (
+	bfsWave   = 1
+	bfsParent = 2
+	bfsCount  = 3
+)
+
+func (b *bfsTree) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
+	T := b.Depth
+	switch {
+	case r <= T: // Phase A: wave
+		for port, m := range inbox {
+			if m == nil {
+				continue
+			}
+			vals, ok := sim.DecodeUints(m, 2)
+			if !ok || vals[0] != bfsWave {
+				continue
+			}
+			if b.out.Dist < 0 {
+				b.out.Dist = int(vals[1]) + 1
+				b.out.ParentPort = port
+			}
+		}
+		// Forward the wave exactly once, the round after joining.
+		joinedAt := b.out.Dist
+		if joinedAt >= 0 && r == joinedAt {
+			out := make([]sim.Message, b.ctx.Degree)
+			payload := sim.Uints(bfsWave, uint64(b.out.Dist))
+			for p := range out {
+				if p != b.out.ParentPort {
+					out[p] = payload
+				}
+			}
+			return out, false
+		}
+		return nil, false
+	case r == T+1: // Phase B: parent announcement
+		if b.out.Dist < 0 {
+			return nil, true // unreached; done
+		}
+		out := make([]sim.Message, b.ctx.Degree)
+		if b.out.ParentPort >= 0 {
+			out[b.out.ParentPort] = sim.Uints(bfsParent)
+		}
+		return out, false
+	case r == T+2: // learn children
+		for port, m := range inbox {
+			if m == nil {
+				continue
+			}
+			if k, _, ok := sim.ReadUint(m); ok && k == bfsParent {
+				b.children = append(b.children, port)
+			}
+		}
+		fallthrough
+	default: // Phase C: convergecast
+		for port, m := range inbox {
+			if m == nil {
+				continue
+			}
+			vals, ok := sim.DecodeUints(m, 2)
+			if ok && vals[0] == bfsCount {
+				b.reported[port] = int(vals[1])
+			}
+		}
+		if len(b.reported) == len(b.children) && !b.sentUp {
+			size := 1
+			for _, s := range b.reported {
+				size += s
+			}
+			b.out.SubtreeSize = size
+			b.sentUp = true
+			if b.out.ParentPort < 0 {
+				return nil, true // root: done with the global count
+			}
+			out := make([]sim.Message, b.ctx.Degree)
+			out[b.out.ParentPort] = sim.Uints(bfsCount, uint64(size))
+			return out, false
+		}
+		if b.sentUp {
+			return nil, true
+		}
+		return nil, false
+	}
+}
+
+func (b *bfsTree) Output() BFSOutput { return b.out }
+
+// BFSTree runs the three-phase BFS-tree + convergecast protocol from the
+// node with the given identifier and returns the per-node outputs. The
+// root's SubtreeSize equals the size of its connected component — a fact
+// the tests assert.
+func BFSTree(g *graph.Graph, rootID uint64, ids []uint64) ([]BFSOutput, *sim.Result[BFSOutput], error) {
+	res, err := sim.Run(sim.Config{
+		Graph:          g,
+		IDs:            ids,
+		MaxMessageBits: sim.CongestBits(g.N()),
+	}, func(int) sim.NodeProgram[BFSOutput] {
+		return &bfsTree{RootID: rootID}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Outputs, res, nil
+}
+
+// ElectLeader floods minimum identifiers for the given number of rounds
+// (0 = n, always sufficient) and reports each node's elected leader.
+func ElectLeader(g *graph.Graph, ids []uint64, rounds int) ([]uint64, *sim.Result[uint64], error) {
+	res, err := sim.Run(sim.Config{
+		Graph:          g,
+		IDs:            ids,
+		MaxMessageBits: sim.CongestBits(g.N()),
+	}, func(int) sim.NodeProgram[uint64] {
+		return NewFloodMin(rounds)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Outputs, res, nil
+}
+
+// Validate checks a BFS forest against the graph: parent distances
+// decrease by one along parent pointers and distances match true BFS.
+func Validate(g *graph.Graph, root int, outs []BFSOutput) error {
+	want := g.BFS(root)
+	for v, o := range outs {
+		if want[v] != o.Dist {
+			return fmt.Errorf("protocols: node %d dist %d, want %d", v, o.Dist, want[v])
+		}
+		if v == root && o.ParentPort != -1 {
+			return fmt.Errorf("protocols: root has a parent")
+		}
+		if o.Dist > 0 {
+			if o.ParentPort < 0 || o.ParentPort >= g.Degree(v) {
+				return fmt.Errorf("protocols: node %d has bad parent port %d", v, o.ParentPort)
+			}
+			parent := g.Neighbors(v)[o.ParentPort]
+			if outs[parent].Dist != o.Dist-1 {
+				return fmt.Errorf("protocols: node %d parent %d at dist %d, want %d",
+					v, parent, outs[parent].Dist, o.Dist-1)
+			}
+		}
+	}
+	return nil
+}

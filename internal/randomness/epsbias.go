@@ -1,0 +1,82 @@
+package randomness
+
+import (
+	"fmt"
+
+	"randlocal/internal/prng"
+)
+
+// EpsBias is a small-bias sample space in the style of Naor–Naor [NN93],
+// realized through the "powering" construction of Alon, Goldreich, Håstad
+// and Peralta (AGHP): with a seed (x, y) ∈ GF(2^m)², the i-th output bit is
+// the inner product ⟨x^i, y⟩ over GF(2). Every non-empty parity of at most
+// n output bits has bias at most (n-1)/2^m, so m = Θ(log(n/ε)) gives an
+// ε-bias space from only 2m true random bits.
+//
+// Lemma 3.4 uses such spaces to solve splitting with O(log n) shared bits;
+// experiment E3 compares this seed size against the k-wise construction's
+// O(log² n) bits.
+type EpsBias struct {
+	field Field
+	x, y  uint64
+}
+
+// NewEpsBias draws a seed for the AGHP generator over GF(2^m), consuming 2·m
+// true random bits.
+func NewEpsBias(m uint, rng *prng.SplitMix64) (*EpsBias, error) {
+	field, err := NewField(m)
+	if err != nil {
+		return nil, err
+	}
+	return &EpsBias{
+		field: field,
+		x:     rng.Uint64() & field.mask,
+		y:     rng.Uint64() & field.mask,
+	}, nil
+}
+
+// NewEpsBiasFromSeed builds the generator from explicit seed words.
+func NewEpsBiasFromSeed(m uint, x, y uint64) (*EpsBias, error) {
+	field, err := NewField(m)
+	if err != nil {
+		return nil, err
+	}
+	return &EpsBias{field: field, x: x & field.mask, y: y & field.mask}, nil
+}
+
+// SeedBits returns the number of true random bits underlying the space.
+func (e *EpsBias) SeedBits() int { return 2 * int(e.field.m) }
+
+// Bias returns the guaranteed bias bound (n-1)/2^m for parities over the
+// first n output bits.
+func (e *EpsBias) Bias(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	denom := float64(uint64(1) << min(e.field.m, 62))
+	if e.field.m > 62 {
+		denom = float64(1<<62) * 4
+	}
+	return float64(n-1) / denom
+}
+
+// Bit returns the i-th output bit ⟨x^i, y⟩.
+func (e *EpsBias) Bit(i uint64) uint64 {
+	xi := e.field.Pow(e.x, i)
+	return parity(e.field.Mul(xi, e.y) & e.field.mask)
+}
+
+func parity(v uint64) uint64 {
+	v ^= v >> 32
+	v ^= v >> 16
+	v ^= v >> 8
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return v & 1
+}
+
+// String describes the generator.
+func (e *EpsBias) String() string {
+	return fmt.Sprintf("epsbias{GF(2^%d), seed=%d bits}", e.field.m, e.SeedBits())
+}

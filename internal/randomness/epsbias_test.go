@@ -1,0 +1,121 @@
+package randomness
+
+import (
+	"testing"
+
+	"randlocal/internal/prng"
+)
+
+// TestEpsBiasExhaustiveBiasBound verifies the AGHP guarantee exhaustively in
+// a small field: over all 2^(2m) seeds of GF(2^6), every non-empty parity of
+// the first n=4 output bits has bias at most (n-1)/2^m = 3/64.
+func TestEpsBiasExhaustiveBiasBound(t *testing.T) {
+	const m = 6
+	const n = 4
+	size := uint64(1) << m
+	total := int(size * size)
+	// parityCount[S] counts seeds whose XOR over subset S is 1.
+	parityCount := make([]int, 1<<n)
+	for x := uint64(0); x < size; x++ {
+		for y := uint64(0); y < size; y++ {
+			gen, err := NewEpsBiasFromSeed(m, x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var bits [n]uint64
+			for i := range bits {
+				bits[i] = gen.Bit(uint64(i))
+			}
+			for S := 1; S < 1<<n; S++ {
+				var p uint64
+				for i := 0; i < n; i++ {
+					if S&(1<<i) != 0 {
+						p ^= bits[i]
+					}
+				}
+				if p == 1 {
+					parityCount[S]++
+				}
+			}
+		}
+	}
+	bound := float64(n-1) / float64(size)
+	for S := 1; S < 1<<n; S++ {
+		bias := float64(parityCount[S])/float64(total) - 0.5
+		if bias < 0 {
+			bias = -bias
+		}
+		if bias > bound+1e-12 {
+			t.Errorf("subset %04b: bias %.4f exceeds bound %.4f", S, bias, bound)
+		}
+	}
+}
+
+func TestEpsBiasSeedBitsAndBias(t *testing.T) {
+	gen, err := NewEpsBias(16, prng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.SeedBits() != 32 {
+		t.Errorf("SeedBits = %d, want 32", gen.SeedBits())
+	}
+	if b := gen.Bias(1); b != 0 {
+		t.Errorf("Bias(1) = %v, want 0", b)
+	}
+	if b := gen.Bias(65537); b <= 0 {
+		t.Errorf("Bias should be positive for n > 1, got %v", b)
+	}
+}
+
+func TestEpsBiasBitBalance(t *testing.T) {
+	gen, err := NewEpsBias(32, prng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		ones += int(gen.Bit(uint64(i + 1)))
+	}
+	if ones < n/2-300 || ones > n/2+300 {
+		t.Errorf("eps-bias bits: %d ones out of %d", ones, n)
+	}
+}
+
+func TestEpsBiasUnsupportedField(t *testing.T) {
+	if _, err := NewEpsBias(13, prng.New(1)); err == nil {
+		t.Error("unsupported field accepted")
+	}
+	if _, err := NewEpsBiasFromSeed(13, 0, 0); err == nil {
+		t.Error("unsupported field accepted from seed")
+	}
+}
+
+func TestEpsBiasDeterministic(t *testing.T) {
+	a, _ := NewEpsBiasFromSeed(16, 0xBEEF, 0xCAFE)
+	b, _ := NewEpsBiasFromSeed(16, 0xBEEF, 0xCAFE)
+	for i := uint64(0); i < 200; i++ {
+		if a.Bit(i) != b.Bit(i) {
+			t.Fatalf("same seed diverges at bit %d", i)
+		}
+	}
+}
+
+func TestParity(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want uint64
+	}{{0, 0}, {1, 1}, {3, 0}, {7, 1}, {0xFFFFFFFFFFFFFFFF, 0}, {1 << 63, 1}}
+	for _, c := range cases {
+		if got := parity(c.in); got != c.want {
+			t.Errorf("parity(%#x) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEpsBiasString(t *testing.T) {
+	gen, _ := NewEpsBiasFromSeed(16, 1, 2)
+	if gen.String() != "epsbias{GF(2^16), seed=32 bits}" {
+		t.Errorf("String() = %q", gen.String())
+	}
+}

@@ -1,0 +1,124 @@
+// Package randomness implements the "randomness as a scarce resource" layer
+// of the reproduction (Section 3 of the paper): randomness sources with exact
+// bit accounting, k-wise independent bit families built from polynomials over
+// GF(2^m) (the standard construction of [AS04] the paper invokes), small-bias
+// spaces in the spirit of Naor–Naor [NN93], globally shared seeds, and the
+// sparse one-bit-per-ball placement of Theorems 3.1/3.7.
+//
+// Every random bit an algorithm consumes flows through a Stream, and every
+// Stream reports to a Ledger, so experiment E9 can print the exact number of
+// true random bits (seed bits) and derived bits each algorithm used.
+package randomness
+
+import "fmt"
+
+// Field is the finite field GF(2^m) for 1 <= m <= 64, represented as
+// polynomials over GF(2) modulo a fixed irreducible polynomial. Elements are
+// uint64 values with only the low m bits used.
+type Field struct {
+	m       uint   // extension degree
+	lowPoly uint64 // reduction polynomial minus the x^m term
+	mask    uint64 // (1<<m)-1, with m=64 mapping to all-ones
+}
+
+// lowWeightIrreducible maps m to the low-order part of a known irreducible
+// polynomial x^m + low(x) over GF(2), from Seroussi's table of low-weight
+// binary irreducible polynomials (HP Labs HPL-98-135). Irreducibility of the
+// small entries is re-verified by trial division in the package tests.
+var lowWeightIrreducible = map[uint]uint64{
+	1:  1 << 0,                 // x + 1
+	2:  1<<1 | 1,               // x^2 + x + 1
+	3:  1<<1 | 1,               // x^3 + x + 1
+	4:  1<<1 | 1,               // x^4 + x + 1
+	5:  1<<2 | 1,               // x^5 + x^2 + 1
+	6:  1<<1 | 1,               // x^6 + x + 1
+	7:  1<<1 | 1,               // x^7 + x + 1
+	8:  1<<4 | 1<<3 | 1<<1 | 1, // x^8 + x^4 + x^3 + x + 1 (AES)
+	9:  1<<1 | 1,               // x^9 + x + 1
+	10: 1<<3 | 1,               // x^10 + x^3 + 1
+	12: 1<<3 | 1,               // x^12 + x^3 + 1
+	16: 1<<5 | 1<<3 | 1<<1 | 1, // x^16 + x^5 + x^3 + x + 1
+	20: 1<<3 | 1,               // x^20 + x^3 + 1
+	24: 1<<4 | 1<<3 | 1<<1 | 1, // x^24 + x^4 + x^3 + x + 1
+	32: 1<<7 | 1<<3 | 1<<2 | 1, // x^32 + x^7 + x^3 + x^2 + 1
+	48: 1<<5 | 1<<3 | 1<<2 | 1, // x^48 + x^5 + x^3 + x^2 + 1
+	64: 1<<4 | 1<<3 | 1<<1 | 1, // x^64 + x^4 + x^3 + x + 1
+}
+
+// NewField returns GF(2^m). Only degrees with a known irreducible polynomial
+// in the built-in table are supported; it returns an error otherwise.
+func NewField(m uint) (Field, error) {
+	low, ok := lowWeightIrreducible[m]
+	if !ok {
+		return Field{}, fmt.Errorf("randomness: no irreducible polynomial on file for GF(2^%d)", m)
+	}
+	mask := ^uint64(0)
+	if m < 64 {
+		mask = (uint64(1) << m) - 1
+	}
+	return Field{m: m, lowPoly: low, mask: mask}, nil
+}
+
+// MustField is NewField for degrees known to be in the table; it panics on
+// error and exists for package-internal constructions with fixed m.
+func MustField(m uint) Field {
+	f, err := NewField(m)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Degree returns m.
+func (f Field) Degree() uint { return f.m }
+
+// Mask returns the bitmask covering valid element bits.
+func (f Field) Mask() uint64 { return f.mask }
+
+// Add returns a + b (XOR in characteristic 2).
+func (f Field) Add(a, b uint64) uint64 { return (a ^ b) & f.mask }
+
+// Mul returns a * b in GF(2^m), by shift-and-add with on-the-fly reduction.
+func (f Field) Mul(a, b uint64) uint64 {
+	a &= f.mask
+	b &= f.mask
+	high := uint64(1) << (f.m - 1)
+	var p uint64
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		b >>= 1
+		carry := a & high
+		a = (a << 1) & f.mask
+		if carry != 0 {
+			a ^= f.lowPoly
+		}
+	}
+	return p & f.mask
+}
+
+// Pow returns a^e by square-and-multiply. a^0 = 1 including for a = 0
+// (the empty product), matching the usual convention.
+func (f Field) Pow(a uint64, e uint64) uint64 {
+	result := uint64(1)
+	base := a & f.mask
+	for e > 0 {
+		if e&1 != 0 {
+			result = f.Mul(result, base)
+		}
+		base = f.Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Eval evaluates the polynomial with the given coefficients (coeffs[i] is the
+// coefficient of x^i) at point x, via Horner's rule.
+func (f Field) Eval(coeffs []uint64, x uint64) uint64 {
+	var acc uint64
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = f.Mul(acc, x) ^ (coeffs[i] & f.mask)
+	}
+	return acc & f.mask
+}

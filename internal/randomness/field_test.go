@@ -1,0 +1,157 @@
+package randomness
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// polyDegree returns the degree of a GF(2) polynomial in bits (-1 for 0).
+func polyDegree(p uint64) int {
+	d := -1
+	for p != 0 {
+		p >>= 1
+		d++
+	}
+	return d
+}
+
+// polyMod reduces a modulo b over GF(2)[x].
+func polyMod(a, b uint64) uint64 {
+	db := polyDegree(b)
+	for {
+		da := polyDegree(a)
+		if da < db {
+			return a
+		}
+		a ^= b << uint(da-db)
+	}
+}
+
+// TestTablePolynomialsIrreducible verifies, by trial division against every
+// polynomial of degree in [1, m/2], that the small field table entries are
+// irreducible. This re-derives the Seroussi table entries we rely on.
+func TestTablePolynomialsIrreducible(t *testing.T) {
+	for m, low := range lowWeightIrreducible {
+		if m > 16 {
+			continue // trial division too slow; larger entries are standard
+		}
+		f := (uint64(1) << m) | low
+		for d := uint64(2); polyDegree(d) <= int(m)/2; d++ {
+			if polyMod(f, d) == 0 {
+				t.Errorf("GF(2^%d) polynomial %#x divisible by %#x", m, f, d)
+			}
+		}
+	}
+}
+
+func TestNewFieldUnsupported(t *testing.T) {
+	if _, err := NewField(13); err == nil {
+		t.Error("NewField(13) should fail: no polynomial on file")
+	}
+	if _, err := NewField(0); err == nil {
+		t.Error("NewField(0) should fail")
+	}
+}
+
+func TestMustFieldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustField(13) did not panic")
+		}
+	}()
+	MustField(13)
+}
+
+func TestFieldAxiomsSmall(t *testing.T) {
+	// Exhaustive check of the field axioms in GF(2^4): commutativity,
+	// associativity, distributivity, identity, and no zero divisors.
+	f := MustField(4)
+	n := uint64(16)
+	for a := uint64(0); a < n; a++ {
+		for b := uint64(0); b < n; b++ {
+			if f.Mul(a, b) != f.Mul(b, a) {
+				t.Fatalf("commutativity fails at %d,%d", a, b)
+			}
+			if a != 0 && b != 0 && f.Mul(a, b) == 0 {
+				t.Fatalf("zero divisor: %d * %d = 0", a, b)
+			}
+			for c := uint64(0); c < n; c++ {
+				if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+					t.Fatalf("associativity fails at %d,%d,%d", a, b, c)
+				}
+				if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+					t.Fatalf("distributivity fails at %d,%d,%d", a, b, c)
+				}
+			}
+		}
+		if f.Mul(a, 1) != a {
+			t.Fatalf("identity fails at %d", a)
+		}
+	}
+}
+
+func TestFieldMultiplicativeGroupOrder(t *testing.T) {
+	// In GF(2^m) every nonzero a satisfies a^(2^m - 1) = 1.
+	for _, m := range []uint{3, 4, 8} {
+		f := MustField(m)
+		order := (uint64(1) << m) - 1
+		for a := uint64(1); a <= f.mask && a < 1<<m; a++ {
+			if got := f.Pow(a, order); got != 1 {
+				t.Fatalf("GF(2^%d): %d^%d = %d, want 1", m, a, order, got)
+			}
+		}
+	}
+}
+
+func TestFieldPowEdgeCases(t *testing.T) {
+	f := MustField(8)
+	if f.Pow(0, 0) != 1 {
+		t.Error("0^0 should be 1 (empty product)")
+	}
+	if f.Pow(0, 5) != 0 {
+		t.Error("0^5 should be 0")
+	}
+	if f.Pow(7, 1) != 7 {
+		t.Error("a^1 should be a")
+	}
+}
+
+func TestFieldMul64SpotChecks(t *testing.T) {
+	f := MustField(64)
+	// x * x = x^2 (no reduction needed).
+	if got := f.Mul(2, 2); got != 4 {
+		t.Errorf("x*x = %#x, want 4", got)
+	}
+	// x^63 * x = x^64 ≡ lowPoly (one reduction step).
+	if got := f.Mul(1<<63, 2); got != lowWeightIrreducible[64] {
+		t.Errorf("x^63 * x = %#x, want %#x", got, lowWeightIrreducible[64])
+	}
+	// Commutativity and distributivity on random values.
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(func(a, b, c uint64) bool {
+		if f.Mul(a, b) != f.Mul(b, a) {
+			return false
+		}
+		return f.Mul(a, b^c) == f.Mul(a, b)^f.Mul(a, c)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldEvalHorner(t *testing.T) {
+	f := MustField(8)
+	// p(x) = 3 + 5x + x^2 at x=2 (i.e. the element "x"):
+	// x^2 = 4, 5x = Mul(5,2)=10, so p = 3 ^ 10 ^ 4 = 13.
+	got := f.Eval([]uint64{3, 5, 1}, 2)
+	if got != 13 {
+		t.Errorf("Eval = %d, want 13", got)
+	}
+	// Constant polynomial.
+	if f.Eval([]uint64{9}, 77) != 9 {
+		t.Error("constant polynomial evaluation wrong")
+	}
+	// Empty polynomial is zero.
+	if f.Eval(nil, 5) != 0 {
+		t.Error("empty polynomial should evaluate to 0")
+	}
+}

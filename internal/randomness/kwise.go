@@ -1,0 +1,108 @@
+package randomness
+
+import (
+	"fmt"
+
+	"randlocal/internal/prng"
+)
+
+// KWise is a k-wise independent family of m-bit values: the evaluations of a
+// uniformly random polynomial of degree < k over GF(2^m) at distinct points
+// are uniform and k-wise independent. This is exactly the "standard
+// construction" from [AS04] that Theorem 3.5 invokes: the seed is the k
+// coefficients (k·m true random bits) and the family exposes up to 2^m
+// derived values.
+//
+// Algorithms index values by an abstract point; DistinctPoint helps encode
+// (node, slot) pairs injectively so different nodes and different uses never
+// share a point.
+type KWise struct {
+	field  Field
+	coeffs []uint64
+}
+
+// NewKWise draws a fresh k-wise independent family over GF(2^m), consuming
+// k·m seed bits from rng. It returns an error for k < 1 or unsupported m.
+func NewKWise(k int, m uint, rng *prng.SplitMix64) (*KWise, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("randomness: k-wise independence needs k >= 1, got %d", k)
+	}
+	field, err := NewField(m)
+	if err != nil {
+		return nil, err
+	}
+	coeffs := make([]uint64, k)
+	for i := range coeffs {
+		coeffs[i] = rng.Uint64() & field.mask
+	}
+	return &KWise{field: field, coeffs: coeffs}, nil
+}
+
+// NewKWiseFromSeed builds the family from explicit seed material: coeffs[i]
+// supplies the coefficient of x^i (masked to m bits). Use this to derive a
+// k-wise family from a Shared seed, which is how Theorems 3.5/3.6 convert
+// poly(log n) shared bits into poly(n) k-wise independent bits.
+func NewKWiseFromSeed(m uint, coeffs []uint64) (*KWise, error) {
+	if len(coeffs) == 0 {
+		return nil, fmt.Errorf("randomness: k-wise family needs at least one coefficient")
+	}
+	field, err := NewField(m)
+	if err != nil {
+		return nil, err
+	}
+	cs := make([]uint64, len(coeffs))
+	for i, c := range coeffs {
+		cs[i] = c & field.mask
+	}
+	return &KWise{field: field, coeffs: cs}, nil
+}
+
+// K returns the independence parameter (any K() distinct points are jointly
+// uniform).
+func (f *KWise) K() int { return len(f.coeffs) }
+
+// M returns the output width in bits.
+func (f *KWise) M() uint { return f.field.m }
+
+// SeedBits returns the number of true random bits underlying the family.
+func (f *KWise) SeedBits() int { return len(f.coeffs) * int(f.field.m) }
+
+// Value returns the m-bit family member at the given point. Points are
+// truncated to m bits, so callers must keep points below 2^m to preserve
+// distinctness (DistinctPoint enforces this for (node, slot) encodings).
+func (f *KWise) Value(point uint64) uint64 {
+	return f.field.Eval(f.coeffs, point&f.field.mask)
+}
+
+// Bit returns a single k-wise independent bit at the given point.
+func (f *KWise) Bit(point uint64) uint64 { return f.Value(point) & 1 }
+
+// Bernoulli reports a k-wise independent {0,1} draw with success probability
+// numer/2^t at the given point, by comparing the low t bits of the value
+// against numer. It panics if t exceeds the field degree (the value would
+// not have enough entropy).
+func (f *KWise) Bernoulli(point uint64, numer uint64, t uint) bool {
+	if t > f.field.m {
+		panic(fmt.Sprintf("randomness: Bernoulli resolution 2^-%d exceeds field degree %d", t, f.field.m))
+	}
+	var mask uint64 = ^uint64(0)
+	if t < 64 {
+		mask = (uint64(1) << t) - 1
+	}
+	return f.Value(point)&mask < numer
+}
+
+// DistinctPoint injectively encodes a (node, slot) pair as an evaluation
+// point, given the maximum slot count per node. It panics if the encoding
+// would overflow the field (caller must pick m large enough; m = 64 always
+// suffices for the sizes in this repository).
+func (f *KWise) DistinctPoint(node, slot, slotsPerNode int) uint64 {
+	if slot < 0 || slot >= slotsPerNode {
+		panic(fmt.Sprintf("randomness: slot %d out of range [0,%d)", slot, slotsPerNode))
+	}
+	p := uint64(node)*uint64(slotsPerNode) + uint64(slot)
+	if f.field.m < 64 && p > f.field.mask {
+		panic(fmt.Sprintf("randomness: point %d overflows GF(2^%d)", p, f.field.m))
+	}
+	return p
+}

@@ -1,0 +1,200 @@
+package randomness
+
+import (
+	"testing"
+
+	"randlocal/internal/prng"
+)
+
+// TestKWiseExhaustivePairwise proves pairwise (k=2) independence over
+// GF(2^3) exhaustively: over all 2^(2·3) = 64 seeds, the pair of values at
+// any two distinct points must take each of the 64 possible value pairs
+// exactly once. This is the defining property of the construction (a degree
+// <2 polynomial through 2 points is unique).
+func TestKWiseExhaustivePairwise(t *testing.T) {
+	const m = 3
+	points := [][2]uint64{{0, 1}, {1, 2}, {3, 7}, {0, 7}, {5, 6}}
+	for _, pts := range points {
+		counts := make(map[[2]uint64]int)
+		for c0 := uint64(0); c0 < 8; c0++ {
+			for c1 := uint64(0); c1 < 8; c1++ {
+				fam, err := NewKWiseFromSeed(m, []uint64{c0, c1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				counts[[2]uint64{fam.Value(pts[0]), fam.Value(pts[1])}]++
+			}
+		}
+		if len(counts) != 64 {
+			t.Fatalf("points %v: %d distinct value pairs, want 64", pts, len(counts))
+		}
+		for pair, c := range counts {
+			if c != 1 {
+				t.Fatalf("points %v: value pair %v seen %d times, want 1", pts, pair, c)
+			}
+		}
+	}
+}
+
+// TestKWiseExhaustiveTriple proves 3-wise independence over GF(2^3):
+// 2^(3·3) = 512 seeds against all value triples at 3 distinct points.
+func TestKWiseExhaustiveTriple(t *testing.T) {
+	const m = 3
+	pts := []uint64{1, 4, 6}
+	counts := make(map[[3]uint64]int)
+	for c0 := uint64(0); c0 < 8; c0++ {
+		for c1 := uint64(0); c1 < 8; c1++ {
+			for c2 := uint64(0); c2 < 8; c2++ {
+				fam, err := NewKWiseFromSeed(m, []uint64{c0, c1, c2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				counts[[3]uint64{fam.Value(pts[0]), fam.Value(pts[1]), fam.Value(pts[2])}]++
+			}
+		}
+	}
+	if len(counts) != 512 {
+		t.Fatalf("%d distinct value triples, want 512", len(counts))
+	}
+	for _, c := range counts {
+		if c != 1 {
+			t.Fatal("value triple multiplicity != 1")
+		}
+	}
+}
+
+// TestKWiseNotFullyIndependent documents the flip side: a 2-wise family over
+// a small field is NOT 3-wise independent — three values at distinct points
+// are constrained (a degree-1 polynomial is determined by 2 points). The
+// experiment layer relies on this distinction being real.
+func TestKWiseNotFullyIndependent(t *testing.T) {
+	const m = 3
+	seen := make(map[[3]uint64]bool)
+	for c0 := uint64(0); c0 < 8; c0++ {
+		for c1 := uint64(0); c1 < 8; c1++ {
+			fam, _ := NewKWiseFromSeed(m, []uint64{c0, c1})
+			seen[[3]uint64{fam.Value(0), fam.Value(1), fam.Value(2)}] = true
+		}
+	}
+	if len(seen) == 512 {
+		t.Error("2-wise family appears 3-wise independent; construction broken")
+	}
+	if len(seen) != 64 {
+		t.Errorf("2-wise family supports %d triples, want exactly 64", len(seen))
+	}
+}
+
+func TestKWiseBitBalance(t *testing.T) {
+	rng := prng.New(17)
+	fam, err := NewKWise(8, 64, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		ones += int(fam.Bit(uint64(i)))
+	}
+	if ones < n/2-450 || ones > n/2+450 {
+		t.Errorf("k-wise bits: %d ones out of %d", ones, n)
+	}
+}
+
+func TestKWiseBernoulli(t *testing.T) {
+	rng := prng.New(23)
+	fam, err := NewKWise(16, 64, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p = 3/16.
+	hits := 0
+	const n = 40000
+	for i := 0; i < n; i++ {
+		if fam.Bernoulli(uint64(i), 3, 4) {
+			hits++
+		}
+	}
+	want := float64(n) * 3 / 16
+	if f := float64(hits); f < want*0.9 || f > want*1.1 {
+		t.Errorf("Bernoulli(3/16): %d hits, want ≈%.0f", hits, want)
+	}
+}
+
+func TestKWiseBernoulliPanicsOnResolution(t *testing.T) {
+	fam, _ := NewKWiseFromSeed(8, []uint64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bernoulli with t > m did not panic")
+		}
+	}()
+	fam.Bernoulli(0, 1, 9)
+}
+
+func TestKWiseSeedBits(t *testing.T) {
+	fam, err := NewKWise(10, 32, prng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.SeedBits() != 320 {
+		t.Errorf("SeedBits = %d, want 320", fam.SeedBits())
+	}
+	if fam.K() != 10 || fam.M() != 32 {
+		t.Errorf("K=%d M=%d", fam.K(), fam.M())
+	}
+}
+
+func TestKWiseErrors(t *testing.T) {
+	if _, err := NewKWise(0, 8, prng.New(1)); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewKWise(2, 13, prng.New(1)); err == nil {
+		t.Error("unsupported field accepted")
+	}
+	if _, err := NewKWiseFromSeed(8, nil); err == nil {
+		t.Error("empty seed accepted")
+	}
+}
+
+func TestDistinctPoint(t *testing.T) {
+	fam, _ := NewKWise(2, 64, prng.New(1))
+	seen := make(map[uint64]bool)
+	for node := 0; node < 10; node++ {
+		for slot := 0; slot < 7; slot++ {
+			p := fam.DistinctPoint(node, slot, 7)
+			if seen[p] {
+				t.Fatalf("point collision at node %d slot %d", node, slot)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestDistinctPointPanics(t *testing.T) {
+	fam, _ := NewKWise(2, 8, prng.New(1))
+	t.Run("slot out of range", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		fam.DistinctPoint(0, 7, 7)
+	})
+	t.Run("field overflow", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		fam.DistinctPoint(1000, 3, 7) // 7003 > 255
+	})
+}
+
+func TestKWiseDeterministicFromSeed(t *testing.T) {
+	a, _ := NewKWiseFromSeed(16, []uint64{0x1234, 0x5678, 0x9abc})
+	b, _ := NewKWiseFromSeed(16, []uint64{0x1234, 0x5678, 0x9abc})
+	for p := uint64(0); p < 100; p++ {
+		if a.Value(p) != b.Value(p) {
+			t.Fatalf("same seed diverges at point %d", p)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package randomness
+
+// Pool is a finite pool of explicitly gathered random bits — the object a
+// cluster center of Lemma 3.2 ends up holding after the upcast: k single
+// bits collected from the holders inside its cluster. Reads are sequential;
+// reading past the pool panics with ErrExhausted, because an algorithm that
+// consumes more randomness than it gathered has violated the model.
+type Pool struct {
+	bits []uint64
+	pos  int
+}
+
+// Add appends one bit (the low bit of b) to the pool.
+func (p *Pool) Add(b uint64) { p.bits = append(p.bits, b&1) }
+
+// Size returns the total number of bits ever added.
+func (p *Pool) Size() int { return len(p.bits) }
+
+// Remaining returns the number of unread bits.
+func (p *Pool) Remaining() int { return len(p.bits) - p.pos }
+
+// Bit returns the next unread bit. It panics with ErrExhausted when empty.
+func (p *Pool) Bit() uint64 {
+	if p.pos >= len(p.bits) {
+		panic(ErrExhausted)
+	}
+	b := p.bits[p.pos]
+	p.pos++
+	return b
+}
+
+// Word returns the next k bits packed little-endian. It panics when fewer
+// than k bits remain.
+func (p *Pool) Word(k int) uint64 {
+	if k < 0 || k > 64 {
+		panic("randomness: Pool.Word width out of range")
+	}
+	var v uint64
+	for i := 0; i < k; i++ {
+		v |= p.Bit() << uint(i)
+	}
+	return v
+}
+
+// Geometric draws Pr[X = k] = 2^-k capped at maxFlips, identically to
+// Stream.Geometric but from the finite pool.
+func (p *Pool) Geometric(maxFlips int) (value int, ok bool) {
+	for i := 1; i <= maxFlips; i++ {
+		if p.Bit() == 0 {
+			return i, true
+		}
+	}
+	return maxFlips, false
+}

@@ -1,0 +1,84 @@
+package randomness
+
+import "testing"
+
+func TestPoolSequentialReads(t *testing.T) {
+	var p Pool
+	for _, b := range []uint64{1, 0, 1, 1, 0} {
+		p.Add(b)
+	}
+	if p.Size() != 5 || p.Remaining() != 5 {
+		t.Fatalf("size=%d remaining=%d", p.Size(), p.Remaining())
+	}
+	want := []uint64{1, 0, 1, 1, 0}
+	for i, w := range want {
+		if got := p.Bit(); got != w {
+			t.Fatalf("bit %d = %d, want %d", i, got, w)
+		}
+	}
+	if p.Remaining() != 0 {
+		t.Errorf("remaining = %d", p.Remaining())
+	}
+}
+
+func TestPoolExhaustionPanics(t *testing.T) {
+	var p Pool
+	p.Add(1)
+	p.Bit()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reading an empty pool did not panic")
+		}
+	}()
+	p.Bit()
+}
+
+func TestPoolAddMasksToOneBit(t *testing.T) {
+	var p Pool
+	p.Add(0xFF)
+	if got := p.Bit(); got != 1 {
+		t.Errorf("Add should keep only the low bit, got %d", got)
+	}
+}
+
+func TestPoolWord(t *testing.T) {
+	var p Pool
+	// bits 1,1,0,1 little-endian = 0b1011 = 11.
+	for _, b := range []uint64{1, 1, 0, 1} {
+		p.Add(b)
+	}
+	if got := p.Word(4); got != 0b1011 {
+		t.Errorf("Word(4) = %#b", got)
+	}
+}
+
+func TestPoolWordPanicsOutOfRange(t *testing.T) {
+	var p Pool
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Word(65) did not panic")
+		}
+	}()
+	p.Word(65)
+}
+
+func TestPoolGeometric(t *testing.T) {
+	var p Pool
+	// heads, heads, tail -> value 3.
+	for _, b := range []uint64{1, 1, 0} {
+		p.Add(b)
+	}
+	v, ok := p.Geometric(10)
+	if !ok || v != 3 {
+		t.Errorf("Geometric = (%d, %v), want (3, true)", v, ok)
+	}
+	// All heads up to the cap.
+	var q Pool
+	for i := 0; i < 4; i++ {
+		q.Add(1)
+	}
+	v, ok = q.Geometric(4)
+	if ok || v != 4 {
+		t.Errorf("capped Geometric = (%d, %v), want (4, false)", v, ok)
+	}
+}

@@ -1,0 +1,159 @@
+// Package rulingset implements the deterministic (α, α·log n)-ruling set
+// construction of Awerbuch, Goldberg, Luby and Plotkin [AGLP89] that the
+// paper's Section 2 and Lemma 3.2 rely on: given U ⊆ V, it selects S ⊆ U
+// with pairwise distance at least α such that every node of U has a node of
+// S within α·b hops, where b is the identifier length in bits.
+//
+// The algorithm is the classic ID-bit recursion, evaluated bottom-up: at
+// level ℓ the candidates are grouped by the identifier bits above position
+// ℓ; within each group, candidates whose bit ℓ is 1 withdraw if a surviving
+// candidate with bit ℓ 0 of the same group lies within distance α−1. Each
+// level preserves the invariant that same-group survivors are pairwise at
+// distance ≥ α, and after the top level all survivors are.
+//
+// The computation here is centralized but performs only operations with a
+// known CONGEST realization — per level, one distance-(α−1) flood from the
+// 0-side survivors — and reports the textbook round bound O(α·b) (with
+// pipelining, [AGLP89, HKN16]); see AnalyticRounds.
+package rulingset
+
+import (
+	"fmt"
+
+	"randlocal/internal/graph"
+)
+
+// Result is a computed ruling set together with its certified parameters.
+type Result struct {
+	// Set lists the chosen nodes in increasing index order.
+	Set []int
+	// InSet marks membership, indexed by node.
+	InSet []bool
+	// Alpha is the guaranteed pairwise-distance lower bound.
+	Alpha int
+	// Levels is the number of identifier bits processed (b).
+	Levels int
+	// AnalyticRounds is the textbook CONGEST round bound α·b for this run.
+	AnalyticRounds int
+}
+
+// Compute returns an (alpha, alpha·b)-ruling set of g with respect to the
+// candidate set U (nil means U = V), using the given identifiers (nil means
+// identifiers equal node indices). It requires alpha >= 1; alpha = 1 returns
+// U itself (distinct nodes trivially have distance >= 1).
+func Compute(g *graph.Graph, U []int, alpha int, ids []uint64) (*Result, error) {
+	if alpha < 1 {
+		return nil, fmt.Errorf("rulingset: alpha must be >= 1, got %d", alpha)
+	}
+	n := g.N()
+	if ids == nil {
+		ids = make([]uint64, n)
+		for i := range ids {
+			ids[i] = uint64(i)
+		}
+	}
+	if len(ids) != n {
+		return nil, fmt.Errorf("rulingset: %d ids for %d nodes", len(ids), n)
+	}
+	if U == nil {
+		U = make([]int, n)
+		for i := range U {
+			U[i] = i
+		}
+	}
+	inU := make([]bool, n)
+	seenID := make(map[uint64]bool, len(U))
+	var maxID uint64
+	for _, u := range U {
+		if u < 0 || u >= n {
+			return nil, fmt.Errorf("rulingset: candidate %d out of range", u)
+		}
+		if inU[u] {
+			return nil, fmt.Errorf("rulingset: duplicate candidate %d", u)
+		}
+		if seenID[ids[u]] {
+			return nil, fmt.Errorf("rulingset: duplicate identifier %d among candidates", ids[u])
+		}
+		seenID[ids[u]] = true
+		inU[u] = true
+		if ids[u] > maxID {
+			maxID = ids[u]
+		}
+	}
+	levels := 1
+	for maxID>>uint(levels) > 0 {
+		levels++
+	}
+	res := &Result{
+		InSet:          append([]bool(nil), inU...),
+		Alpha:          alpha,
+		Levels:         levels,
+		AnalyticRounds: alpha * levels,
+	}
+	if alpha == 1 || len(U) == 0 {
+		for v := 0; v < n; v++ {
+			if res.InSet[v] {
+				res.Set = append(res.Set, v)
+			}
+		}
+		return res, nil
+	}
+	for level := 0; level < levels; level++ {
+		// Group survivors by the identifier bits above position `level`.
+		groups := map[uint64][]int{}
+		for v := 0; v < n; v++ {
+			if res.InSet[v] {
+				groups[ids[v]>>uint(level+1)] = append(groups[ids[v]>>uint(level+1)], v)
+			}
+		}
+		for _, members := range groups {
+			var zeros []int
+			for _, v := range members {
+				if ids[v]>>uint(level)&1 == 0 {
+					zeros = append(zeros, v)
+				}
+			}
+			if len(zeros) == 0 || len(zeros) == len(members) {
+				continue // one-sided group: nothing to merge
+			}
+			// Distance-(alpha-1) exploration from the 0-side survivors;
+			// 1-side survivors reached that closely withdraw.
+			dist := g.MultiBFS(zeros)
+			for _, v := range members {
+				if ids[v]>>uint(level)&1 == 1 && dist[v] != graph.Unreachable && dist[v] < alpha {
+					res.InSet[v] = false
+				}
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if res.InSet[v] {
+			res.Set = append(res.Set, v)
+		}
+	}
+	return res, nil
+}
+
+// Verify checks the two defining properties against the graph: members are
+// pairwise at distance >= alpha, and every candidate of U has a member
+// within beta hops. It is used by tests and by the composite algorithms
+// that consume ruling sets (failing loudly beats silently wrong clusters).
+func Verify(g *graph.Graph, U []int, res *Result, beta int) error {
+	if len(res.Set) == 0 && len(U) > 0 {
+		return fmt.Errorf("rulingset: empty set for %d candidates", len(U))
+	}
+	dist := g.MultiBFS(res.Set)
+	for _, u := range U {
+		if dist[u] == graph.Unreachable || dist[u] > beta {
+			return fmt.Errorf("rulingset: candidate %d at distance %d from the set (bound %d)", u, dist[u], beta)
+		}
+	}
+	for i, v := range res.Set {
+		for _, w := range res.Set[i+1:] {
+			if d := g.Dist(v, w); d != graph.Unreachable && d < res.Alpha {
+				return fmt.Errorf("rulingset: members %d and %d at distance %d < α=%d", v, w, d, res.Alpha)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package rulingset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"randlocal/internal/graph"
+	"randlocal/internal/prng"
+)
+
+func allNodes(n int) []int {
+	u := make([]int, n)
+	for i := range u {
+		u[i] = i
+	}
+	return u
+}
+
+func TestRulingSetOnPath(t *testing.T) {
+	g := graph.Path(32)
+	res, err := Compute(g, nil, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, allNodes(32), res, res.Alpha*res.Levels); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set) == 0 {
+		t.Fatal("empty ruling set")
+	}
+}
+
+func TestRulingSetSeparationExact(t *testing.T) {
+	rng := prng.New(31)
+	for _, alpha := range []int{2, 3, 5, 9} {
+		g := graph.GNPConnected(80, 0.05, rng)
+		res, err := Compute(g, nil, alpha, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range res.Set {
+			for _, w := range res.Set[i+1:] {
+				if d := g.Dist(v, w); d < alpha {
+					t.Fatalf("alpha=%d: members %d,%d at distance %d", alpha, v, w, d)
+				}
+			}
+		}
+	}
+}
+
+func TestRulingSetDominationBound(t *testing.T) {
+	rng := prng.New(17)
+	for trial := 0; trial < 8; trial++ {
+		g := graph.GNPConnected(60, 0.06, rng)
+		alpha := 2 + trial%4
+		res, err := Compute(g, nil, alpha, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(g, allNodes(g.N()), res, alpha*res.Levels); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestRulingSetSubsetU(t *testing.T) {
+	g := graph.Ring(24)
+	U := []int{0, 3, 6, 9, 12, 15, 18, 21}
+	res, err := Compute(g, U, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S ⊆ U.
+	inU := map[int]bool{}
+	for _, u := range U {
+		inU[u] = true
+	}
+	for _, s := range res.Set {
+		if !inU[s] {
+			t.Fatalf("member %d not a candidate", s)
+		}
+	}
+	if err := Verify(g, U, res, res.Alpha*res.Levels); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRulingSetAlphaOne(t *testing.T) {
+	g := graph.Complete(5)
+	res, err := Compute(g, nil, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set) != 5 {
+		t.Errorf("alpha=1 should keep all candidates, got %d", len(res.Set))
+	}
+}
+
+func TestRulingSetCompleteGraph(t *testing.T) {
+	// In K_n all pairwise distances are 1, so alpha=2 forces exactly one
+	// survivor.
+	g := graph.Complete(17)
+	res, err := Compute(g, nil, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set) != 1 {
+		t.Errorf("K17 alpha=2: |S| = %d, want 1", len(res.Set))
+	}
+}
+
+func TestRulingSetEmptyU(t *testing.T) {
+	g := graph.Ring(5)
+	res, err := Compute(g, []int{}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set) != 0 {
+		t.Error("empty U should give empty S")
+	}
+}
+
+func TestRulingSetErrors(t *testing.T) {
+	g := graph.Ring(5)
+	if _, err := Compute(g, nil, 0, nil); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := Compute(g, []int{0, 0}, 2, nil); err == nil {
+		t.Error("duplicate candidate accepted")
+	}
+	if _, err := Compute(g, []int{9}, 2, nil); err == nil {
+		t.Error("out-of-range candidate accepted")
+	}
+	if _, err := Compute(g, nil, 2, []uint64{1, 2}); err == nil {
+		t.Error("short id array accepted")
+	}
+	if _, err := Compute(g, nil, 2, []uint64{7, 7, 1, 2, 3}); err == nil {
+		t.Error("duplicate identifiers accepted")
+	}
+}
+
+func TestRulingSetDeterministic(t *testing.T) {
+	rng := prng.New(3)
+	g := graph.GNPConnected(50, 0.08, rng)
+	a, _ := Compute(g, nil, 3, nil)
+	b, _ := Compute(g, nil, 3, nil)
+	if len(a.Set) != len(b.Set) {
+		t.Fatal("non-deterministic size")
+	}
+	for i := range a.Set {
+		if a.Set[i] != b.Set[i] {
+			t.Fatal("non-deterministic membership")
+		}
+	}
+}
+
+func TestRulingSetWithCustomIDs(t *testing.T) {
+	rng := prng.New(8)
+	g := graph.GNPConnected(40, 0.1, rng)
+	ids := make([]uint64, 40)
+	for i := range ids {
+		ids[i] = uint64(1000 + i*3) // larger ID space -> more levels
+	}
+	res, err := Compute(g, nil, 3, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, allNodes(40), res, res.Alpha*res.Levels); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRulingSetDisconnectedGraph(t *testing.T) {
+	g := graph.Disjoint(graph.Ring(10), graph.Ring(10))
+	res, err := Compute(g, nil, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every component must be dominated.
+	if err := Verify(g, allNodes(20), res, res.Alpha*res.Levels); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRulingSetPropertyQuick(t *testing.T) {
+	f := func(seed uint64, nRaw, aRaw uint8) bool {
+		n := int(nRaw%50) + 5
+		alpha := int(aRaw%5) + 2
+		g := graph.GNPConnected(n, 2.5/float64(n), prng.New(seed))
+		res, err := Compute(g, nil, alpha, nil)
+		if err != nil {
+			return false
+		}
+		return Verify(g, allNodes(n), res, res.Alpha*res.Levels) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyticRounds(t *testing.T) {
+	g := graph.Path(100)
+	res, _ := Compute(g, nil, 4, nil)
+	if res.AnalyticRounds != 4*res.Levels {
+		t.Errorf("AnalyticRounds = %d, want %d", res.AnalyticRounds, 4*res.Levels)
+	}
+	if res.Levels != 7 { // IDs up to 99 need 7 bits
+		t.Errorf("Levels = %d, want 7", res.Levels)
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	g := graph.Path(6)
+	// Set {0, 1} violates alpha=3.
+	bad := &Result{Set: []int{0, 1}, InSet: []bool{true, true, false, false, false, false}, Alpha: 3, Levels: 3}
+	if err := Verify(g, allNodes(6), bad, 9); err == nil {
+		t.Error("separation violation accepted")
+	}
+	// Set {0} with beta=2 leaves node 5 undominated.
+	far := &Result{Set: []int{0}, InSet: []bool{true}, Alpha: 3, Levels: 3}
+	if err := Verify(g, allNodes(6), far, 2); err == nil {
+		t.Error("domination violation accepted")
+	}
+	// Empty set with non-empty U.
+	empty := &Result{Alpha: 2, Levels: 1}
+	if err := Verify(g, allNodes(6), empty, 10); err == nil {
+		t.Error("empty set accepted")
+	}
+}

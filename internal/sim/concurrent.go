@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RunConcurrent executes the network with one goroutine per node and one
+// buffered channel per directed edge — an α-synchronizer: synchrony is
+// achieved purely by every node sending exactly one frame (possibly empty)
+// per neighbor per round and blocking until it has received one frame from
+// every neighbor. A small coordinator only handles start/stop and global
+// termination detection; all payload traffic flows node-to-node.
+//
+// Given the same Config (in particular the same randomness source seed), the
+// outputs are identical to Run's: node programs are deterministic state
+// machines and the synchronous schedule delivers the same inboxes. The test
+// suite asserts this equivalence property on random networks.
+func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Result[T], error) {
+	st, err := newEngineState(cfg, factory)
+	if err != nil {
+		return nil, err
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	n := st.n
+
+	// chans[v][p] is the channel on which node v receives from port p.
+	chans := make([][]chan Message, n)
+	for v := 0; v < n; v++ {
+		chans[v] = make([]chan Message, st.g.Degree(v))
+		for p := range chans[v] {
+			chans[v][p] = make(chan Message, 1)
+		}
+	}
+
+	type report struct {
+		node    int
+		done    bool
+		msgs    int64
+		bits    int64
+		maxBits int
+		err     error
+	}
+	cont := make([]chan bool, n)
+	for v := range cont {
+		cont[v] = make(chan bool, 1)
+	}
+	reports := make(chan report, n)
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		go func(v int) {
+			defer wg.Done()
+			prog := st.progs[v]
+			neighbors := st.g.Neighbors(v)
+			inbox := make([]Message, len(neighbors))
+			done := false
+			for r := 0; <-cont[v]; r++ {
+				var out []Message
+				var sendErr error
+				if !done {
+					var nodeDone bool
+					out, nodeDone = prog.Round(r, inbox)
+					if nodeDone {
+						done = true
+					}
+					if len(out) > len(neighbors) {
+						sendErr = fmt.Errorf("sim: node %d produced %d outbox entries for degree %d", v, len(out), len(neighbors))
+					}
+				}
+				rep := report{node: v, done: done}
+				// Send exactly one frame per neighbor (nil when silent).
+				for p, w := range neighbors {
+					var msg Message
+					if sendErr == nil && p < len(out) {
+						msg = out[p]
+					}
+					if msg != nil && cfg.MaxMessageBits > 0 && msg.BitLen() > cfg.MaxMessageBits {
+						rep.err = &BandwidthError{Node: v, Round: r, Bits: msg.BitLen(), Limit: cfg.MaxMessageBits}
+						msg = nil // stay frame-synchronized despite the violation
+					}
+					if msg != nil {
+						rep.msgs++
+						rep.bits += int64(msg.BitLen())
+						if msg.BitLen() > rep.maxBits {
+							rep.maxBits = msg.BitLen()
+						}
+					}
+					chans[w][st.revPort[v][p]] <- msg
+				}
+				if sendErr != nil && rep.err == nil {
+					rep.err = sendErr
+				}
+				// Receive exactly one frame per neighbor.
+				for p := range neighbors {
+					inbox[p] = <-chans[v][p]
+				}
+				reports <- rep
+			}
+		}(v)
+	}
+
+	stop := func() {
+		for v := 0; v < n; v++ {
+			cont[v] <- false
+		}
+		wg.Wait()
+	}
+
+	var firstErr error
+	running := n
+	for r := 0; ; r++ {
+		if r >= maxRounds {
+			stop()
+			return nil, &StuckError{MaxRounds: maxRounds, Running: running}
+		}
+		for v := 0; v < n; v++ {
+			cont[v] <- true
+		}
+		allDone := true
+		running = 0
+		for i := 0; i < n; i++ {
+			rep := <-reports
+			st.messages += rep.msgs
+			st.bits += rep.bits
+			if rep.maxBits > st.maxBits {
+				st.maxBits = rep.maxBits
+			}
+			if rep.err != nil && firstErr == nil {
+				firstErr = rep.err
+			}
+			if !rep.done {
+				allDone = false
+				running++
+			}
+		}
+		st.rounds++
+		if firstErr != nil {
+			stop()
+			return nil, firstErr
+		}
+		if allDone {
+			break
+		}
+	}
+	stop()
+	return st.result(), nil
+}

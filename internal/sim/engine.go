@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"fmt"
+
+	"randlocal/internal/graph"
+	"randlocal/internal/randomness"
+)
+
+// DefaultMaxRounds caps simulations whose config does not set MaxRounds; it
+// is generous relative to the poly(log n) complexities under study, so
+// hitting it indicates a livelocked program, not a slow one.
+const DefaultMaxRounds = 1 << 20
+
+// Config describes one simulation: the network, identifier assignment,
+// randomness regime, bandwidth regime, and termination cap.
+type Config struct {
+	// Graph is the communication network. Required.
+	Graph *graph.Graph
+	// IDs assigns the unique identifier of each node; nil means IDs equal
+	// node indices. Use the helpers in ids.go for random or adversarial
+	// assignments. Must be injective (validated).
+	IDs []uint64
+	// Source grants randomness; nil runs the network fully
+	// deterministically (every NodeCtx.Rand is nil).
+	Source randomness.Source
+	// DeclaredN is the network size told to the (non-uniform) node
+	// programs; 0 means the true size. Values larger than the true size
+	// implement the lying-about-n reduction of Theorem 4.3.
+	DeclaredN int
+	// MaxMessageBits bounds every message's size: 0 means unbounded (the
+	// LOCAL model); CongestBits(n) gives the standard CONGEST bound.
+	MaxMessageBits int
+	// MaxRounds caps execution; 0 means DefaultMaxRounds.
+	MaxRounds int
+	// KT0 hides neighbor identifiers at time zero (NeighborIDs = nil).
+	// The default (false) is the usual KT1 convention, which changes round
+	// complexities by at most one round.
+	KT0 bool
+}
+
+// CongestBits returns the standard CONGEST bandwidth bound used throughout
+// the experiments: c·⌈log₂(n+1)⌉ bits with c = 8, comfortably enough for a
+// constant number of identifiers and counters per message, floored at 32
+// bits so that tiny test networks still admit constant-size headers (the
+// model's O(log n) bound absorbs such constants).
+func CongestBits(n int) int {
+	bits := 1
+	for 1<<bits < n+1 {
+		bits++
+	}
+	if bits < 6 {
+		bits = 6
+	}
+	return 8 * bits
+}
+
+// Result carries the outputs and the accounting of one simulation.
+type Result[T any] struct {
+	// Outputs holds each node's output, indexed by node.
+	Outputs []T
+	// Rounds is the number of communication rounds executed until the last
+	// node halted (a network that halts without sending anything used 1
+	// round of computation but we report the number of Round calls'
+	// maximum, i.e. rounds of the synchronous schedule).
+	Rounds int
+	// Messages counts non-nil messages delivered.
+	Messages int64
+	// BitsTotal is the total size of all delivered messages, in bits.
+	BitsTotal int64
+	// MaxMessageBits is the largest single message observed, in bits.
+	MaxMessageBits int
+}
+
+type engineState[T any] struct {
+	cfg      Config
+	g        *graph.Graph
+	n        int
+	progs    []NodeProgram[T]
+	done     []bool
+	inbox    [][]Message
+	next     [][]Message
+	revPort  [][]int // revPort[v][p] = port of v in neighbor's list
+	running  int
+	rounds   int
+	messages int64
+	bits     int64
+	maxBits  int
+}
+
+func newEngineState[T any](cfg Config, factory func(v int) NodeProgram[T]) (*engineState[T], error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("sim: config requires a graph")
+	}
+	n := cfg.Graph.N()
+	ids := cfg.IDs
+	if ids == nil {
+		ids = make([]uint64, n)
+		for i := range ids {
+			ids[i] = uint64(i)
+		}
+	}
+	if len(ids) != n {
+		return nil, fmt.Errorf("sim: %d IDs for %d nodes", len(ids), n)
+	}
+	seen := make(map[uint64]int, n)
+	for v, id := range ids {
+		if prev, dup := seen[id]; dup {
+			return nil, fmt.Errorf("sim: duplicate ID %d at nodes %d and %d", id, prev, v)
+		}
+		seen[id] = v
+	}
+	declaredN := cfg.DeclaredN
+	if declaredN == 0 {
+		declaredN = n
+	}
+	if declaredN < n {
+		return nil, fmt.Errorf("sim: declared size %d below true size %d", declaredN, n)
+	}
+	st := &engineState[T]{
+		cfg:     cfg,
+		g:       cfg.Graph,
+		n:       n,
+		progs:   make([]NodeProgram[T], n),
+		done:    make([]bool, n),
+		inbox:   make([][]Message, n),
+		next:    make([][]Message, n),
+		revPort: make([][]int, n),
+		running: n,
+	}
+	var shared *randomness.Shared
+	if s, ok := cfg.Source.(*randomness.Shared); ok {
+		shared = s
+	}
+	for v := 0; v < n; v++ {
+		deg := st.g.Degree(v)
+		st.inbox[v] = make([]Message, deg)
+		st.next[v] = make([]Message, deg)
+		st.revPort[v] = make([]int, deg)
+		for p, w := range st.g.Neighbors(v) {
+			st.revPort[v][p] = st.g.PortOf(w, v)
+		}
+		ctx := &NodeCtx{
+			Index:  v,
+			ID:     ids[v],
+			Degree: deg,
+			N:      declaredN,
+			Shared: shared,
+		}
+		if !cfg.KT0 {
+			ctx.NeighborIDs = make([]uint64, deg)
+			for p, w := range st.g.Neighbors(v) {
+				ctx.NeighborIDs[p] = ids[w]
+			}
+		}
+		if cfg.Source != nil && cfg.Source.Has(v) {
+			ctx.Rand = cfg.Source.Stream(v)
+		}
+		st.progs[v] = factory(v)
+		st.progs[v].Init(ctx)
+	}
+	return st, nil
+}
+
+// step runs the compute phase for node v in round r and stages its outbox
+// into neighbors' next-round inboxes. It returns a bandwidth error if v
+// violates the CONGEST bound.
+func (st *engineState[T]) step(v, r int) error {
+	out, nodeDone := st.progs[v].Round(r, st.inbox[v])
+	if len(out) > st.g.Degree(v) {
+		return fmt.Errorf("sim: node %d produced %d outbox entries for degree %d", v, len(out), st.g.Degree(v))
+	}
+	for p, msg := range out {
+		if msg == nil {
+			continue
+		}
+		if st.cfg.MaxMessageBits > 0 && msg.BitLen() > st.cfg.MaxMessageBits {
+			return &BandwidthError{Node: v, Round: r, Bits: msg.BitLen(), Limit: st.cfg.MaxMessageBits}
+		}
+		w := st.g.Neighbors(v)[p]
+		st.next[w][st.revPort[v][p]] = msg
+	}
+	if nodeDone {
+		st.done[v] = true
+		st.running--
+	}
+	return nil
+}
+
+// collectStats tallies delivered messages and swaps inboxes for the next
+// round. It must run after every node's compute phase for round r.
+func (st *engineState[T]) finishRound() {
+	for v := 0; v < st.n; v++ {
+		for p, msg := range st.next[v] {
+			if msg != nil {
+				st.messages++
+				st.bits += int64(msg.BitLen())
+				if msg.BitLen() > st.maxBits {
+					st.maxBits = msg.BitLen()
+				}
+			}
+			st.inbox[v][p] = msg
+			st.next[v][p] = nil
+		}
+	}
+	st.rounds++
+}
+
+func (st *engineState[T]) result() *Result[T] {
+	outputs := make([]T, st.n)
+	for v := range outputs {
+		outputs[v] = st.progs[v].Output()
+	}
+	return &Result[T]{
+		Outputs:        outputs,
+		Rounds:         st.rounds,
+		Messages:       st.messages,
+		BitsTotal:      st.bits,
+		MaxMessageBits: st.maxBits,
+	}
+}
+
+// Run executes the network with the deterministic sequential scheduler:
+// within a round, nodes compute in index order, but — as the model requires
+// — every message sent in round r is delivered only at round r+1, so the
+// schedule is observationally identical to a fully parallel round.
+func Run[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Result[T], error) {
+	st, err := newEngineState(cfg, factory)
+	if err != nil {
+		return nil, err
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	for r := 0; st.running > 0; r++ {
+		if r >= maxRounds {
+			return nil, &StuckError{MaxRounds: maxRounds, Running: st.running}
+		}
+		for v := 0; v < st.n; v++ {
+			if st.done[v] {
+				continue
+			}
+			if err := st.step(v, r); err != nil {
+				return nil, err
+			}
+		}
+		st.finishRound()
+	}
+	return st.result(), nil
+}

@@ -1,0 +1,46 @@
+package sim
+
+import "randlocal/internal/prng"
+
+// SequentialIDs assigns identifier v to node v — the default, and the
+// friendliest assignment for ID-based symmetry breaking.
+func SequentialIDs(n int) []uint64 {
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	return ids
+}
+
+// RandomIDs assigns a uniformly random injective identifier from
+// [0, n·spread) to each node. The paper's model assumes identifiers of
+// Θ(log n) bits, i.e. from a polynomial range; spread controls the
+// polynomial (spread = n gives the usual [0, n²) range).
+func RandomIDs(n, spread int, rng *prng.SplitMix64) []uint64 {
+	if spread < 1 {
+		spread = 1
+	}
+	used := make(map[uint64]bool, n)
+	ids := make([]uint64, n)
+	for i := range ids {
+		for {
+			id := uint64(rng.Intn(n * spread))
+			if !used[id] {
+				used[id] = true
+				ids[i] = id
+				break
+			}
+		}
+	}
+	return ids
+}
+
+// AdversarialDescendingIDs assigns n-1-v to node v: an adversarial pattern
+// for greedy-by-ID algorithms whose wavefronts then travel the "wrong" way.
+func AdversarialDescendingIDs(n int) []uint64 {
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(n - 1 - i)
+	}
+	return ids
+}

@@ -1,0 +1,155 @@
+// Package sim implements the LOCAL and CONGEST models of distributed
+// computing as defined in Section 2 of the paper: an n-node network where
+// computation proceeds in synchronous rounds, each node exchanges one message
+// per neighbor per round, nodes start knowing only their own identifier,
+// degree and (for non-uniform algorithms) the declared network size, and —
+// in the CONGEST model — messages are limited to O(log n) bits.
+//
+// Two engines execute the same node programs: Run is a deterministic
+// sequential scheduler used by tests and experiments, and RunConcurrent
+// spawns one goroutine per node with a channel per directed edge (an
+// α-synchronizer), demonstrating that programs are genuinely local. Both
+// account rounds, message counts and message bits, and both enforce the
+// CONGEST bandwidth bound, so the paper's round-complexity and bandwidth
+// claims become machine-checked assertions.
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"randlocal/internal/randomness"
+)
+
+// Message is an opaque message payload. A nil Message means "send nothing on
+// this port". Size accounting uses 8·len(m) bits.
+type Message []byte
+
+// BitLen returns the size of the message in bits.
+func (m Message) BitLen() int { return 8 * len(m) }
+
+// NodeCtx is the information a node holds at time zero, before any
+// communication: its identifier, its degree, the declared network size
+// (non-uniform algorithms receive n as input, Definition 2.1), and its
+// randomness, if the configured source grants it any.
+type NodeCtx struct {
+	// Index is the dense engine-internal node index in [0, n). Node
+	// programs must treat it as opaque; algorithmic decisions must use ID.
+	Index int
+	// ID is the unique Θ(log n)-bit identifier.
+	ID uint64
+	// Degree is the number of incident edges (= ports).
+	Degree int
+	// N is the declared number of nodes handed to non-uniform algorithms.
+	// It may exceed the true size — that is exactly the "lying about n"
+	// device of Theorem 4.3.
+	N int
+	// NeighborIDs lists the identifier behind each port when the engine is
+	// configured with KT1 knowledge (the default); nil under KT0.
+	NeighborIDs []uint64
+	// Rand is this node's accounted private random stream, or nil when the
+	// randomness source grants this node no private bits.
+	Rand *randomness.Stream
+	// Shared is non-nil when running under the shared-randomness model and
+	// exposes the public seed (and its deterministic expansions).
+	Shared *randomness.Shared
+}
+
+// NodeProgram is a state machine run at one node. Init is called once before
+// round 0. In every round the engine calls Round with the messages received
+// on each port (inbox[p] is nil when the neighbor on port p sent nothing);
+// the program returns the messages to send (outbox[p], nil allowed, and a
+// short outbox is treated as nil-padded) and whether it has terminated.
+// After a program reports done, Round is never called again and neighbors
+// receive nothing from it. Output is read once the whole network has halted.
+type NodeProgram[T any] interface {
+	Init(ctx *NodeCtx)
+	Round(r int, inbox []Message) (outbox []Message, done bool)
+	Output() T
+}
+
+// --- Message payload codec -------------------------------------------------
+//
+// Algorithms in this repository encode message fields with unsigned varints,
+// so a field of value x costs Θ(log x) bits — which keeps honest CONGEST
+// accounting: messages carrying O(1) identifiers and counters of magnitude
+// poly(n) measure at O(log n) bits.
+
+// AppendUint appends a varint-encoded unsigned integer to the payload.
+func AppendUint(m Message, x uint64) Message {
+	return binary.AppendUvarint(m, x)
+}
+
+// Uints encodes a sequence of unsigned integers as a single payload.
+func Uints(xs ...uint64) Message {
+	var m Message
+	for _, x := range xs {
+		m = AppendUint(m, x)
+	}
+	return m
+}
+
+// ReadUint decodes one varint from the front of the payload, returning the
+// value and the remainder. The second return is nil and ok=false on
+// malformed input.
+func ReadUint(m Message) (x uint64, rest Message, ok bool) {
+	x, n := binary.Uvarint(m)
+	if n <= 0 {
+		return 0, nil, false
+	}
+	return x, m[n:], true
+}
+
+// DecodeUints decodes exactly k varints, returning ok=false on malformed or
+// short input.
+func DecodeUints(m Message, k int) ([]uint64, bool) {
+	out := make([]uint64, 0, k)
+	for i := 0; i < k; i++ {
+		x, rest, ok := ReadUint(m)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, x)
+		m = rest
+	}
+	return out, true
+}
+
+// DecodeAllUints decodes varints until the payload is exhausted.
+func DecodeAllUints(m Message) ([]uint64, bool) {
+	var out []uint64
+	for len(m) > 0 {
+		x, rest, ok := ReadUint(m)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, x)
+		m = rest
+	}
+	return out, true
+}
+
+// BandwidthError reports a CONGEST bandwidth violation: some node attempted
+// to send a message larger than the configured bound. The engine surfaces it
+// rather than silently truncating — a violation means the algorithm is not a
+// CONGEST algorithm.
+type BandwidthError struct {
+	Node  int
+	Round int
+	Bits  int
+	Limit int
+}
+
+func (e *BandwidthError) Error() string {
+	return fmt.Sprintf("sim: node %d exceeded CONGEST bandwidth in round %d: %d bits > limit %d", e.Node, e.Round, e.Bits, e.Limit)
+}
+
+// StuckError reports that the round cap was reached before all nodes halted.
+type StuckError struct {
+	MaxRounds int
+	Running   int
+}
+
+func (e *StuckError) Error() string {
+	return fmt.Sprintf("sim: %d nodes still running after the %d-round cap", e.Running, e.MaxRounds)
+}

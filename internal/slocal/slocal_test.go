@@ -1,0 +1,154 @@
+package slocal
+
+import (
+	"testing"
+
+	"randlocal/internal/check"
+	"randlocal/internal/decomp"
+	"randlocal/internal/graph"
+	"randlocal/internal/prng"
+)
+
+func TestRunSequentialGreedyMIS(t *testing.T) {
+	rng := prng.New(1)
+	for trial := 0; trial < 8; trial++ {
+		g := graph.GNP(50, 0.1, rng)
+		out := RunSequential(g, GreedyMIS(), rng.Perm(50))
+		if err := check.MIS(g, out); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestRunSequentialGreedyColoring(t *testing.T) {
+	rng := prng.New(2)
+	g := graph.GNPConnected(60, 0.1, rng)
+	out := RunSequential(g, GreedyColoring(), nil)
+	if err := check.Coloring(g, out, g.MaxDegree()+1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDerandomizedMIS(t *testing.T) {
+	rng := prng.New(3)
+	families := map[string]*graph.Graph{
+		"ring40":   graph.Ring(40),
+		"gnp80":    graph.GNPConnected(80, 0.05, rng),
+		"tree60":   graph.RandomTree(60, rng),
+		"clique12": graph.Complete(12),
+		"single":   graph.NewBuilder(1).Graph(),
+	}
+	for name, g := range families {
+		t.Run(name, func(t *testing.T) {
+			res, err := DerandomizedMIS(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := check.MIS(g, res.Outputs); err != nil {
+				t.Fatalf("derandomized MIS invalid: %v", err)
+			}
+			if res.AnalyticRounds <= 0 && g.N() > 0 {
+				t.Error("no round accounting")
+			}
+		})
+	}
+}
+
+func TestDerandomizedMISIsDeterministic(t *testing.T) {
+	g := graph.GNPConnected(60, 0.06, prng.New(7))
+	a, err := DerandomizedMIS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DerandomizedMIS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Outputs {
+		if a.Outputs[v] != b.Outputs[v] {
+			t.Fatal("zero-randomness pipeline gave two answers")
+		}
+	}
+}
+
+func TestDerandomizedColoring(t *testing.T) {
+	rng := prng.New(4)
+	g := graph.GNPConnected(70, 0.06, rng)
+	res, err := DerandomizedColoring(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.Coloring(g, res.Outputs, g.MaxDegree()+1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileMatchesSomeSequentialOrder(t *testing.T) {
+	// The compiled schedule IS a sequential order (colors, then clusters,
+	// then indices); re-running RunSequential with that order must agree.
+	g := graph.GNPConnected(50, 0.08, prng.New(5))
+	algo := GreedyMIS()
+	power := graph.Power(g, 3)
+	d := decomp.DeterministicSequential(power)
+	res, err := Compile(g, algo, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the compile order.
+	type key struct{ color, cluster, v int }
+	var order []int
+	for v := 0; v < g.N(); v++ {
+		order = append(order, v)
+	}
+	// Sort by (color, cluster, index).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j], order[j-1]
+			ka := key{d.Color[a], d.Cluster[a], a}
+			kb := key{d.Color[b], d.Cluster[b], b}
+			if ka.color < kb.color || (ka.color == kb.color && (ka.cluster < kb.cluster || (ka.cluster == kb.cluster && ka.v < kb.v))) {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+	}
+	seq := RunSequential(g, algo, order)
+	for v := range seq {
+		if seq[v] != res.Outputs[v] {
+			t.Fatalf("node %d: compiled %v vs sequential %v", v, res.Outputs[v], seq[v])
+		}
+	}
+}
+
+func TestCompileRejectsWrongPower(t *testing.T) {
+	// A decomposition of G itself (power 1) does not satisfy the
+	// 2r+1-separation needed by a locality-1 algorithm on most graphs;
+	// Compile must detect the violation rather than silently produce a
+	// wrong schedule.
+	g := graph.Ring(30)
+	d := decomp.DeterministicSequential(g) // decomposition of G, not G³
+	_, err := Compile(g, GreedyMIS(), d)
+	if err == nil {
+		t.Skip("this ring decomposition happened to satisfy the separation; acceptable")
+	}
+}
+
+func TestCompileRejectsSizeMismatch(t *testing.T) {
+	g := graph.Ring(10)
+	d := &decomp.Decomposition{Cluster: []int{0}, Color: []int{0}}
+	if _, err := Compile(g, GreedyMIS(), d); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestGreedyColoringUsesSmallPalette(t *testing.T) {
+	g := graph.Complete(6)
+	out := RunSequential(g, GreedyColoring(), nil)
+	// K6 greedy uses exactly colors 0..5.
+	seen := map[int]bool{}
+	for _, c := range out {
+		seen[c] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("K6 colors = %v", out)
+	}
+}

@@ -1,0 +1,98 @@
+package splitting
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConditionalExpectations derandomizes the zero-round randomized splitting
+// algorithm by the method of conditional expectations — the pessimistic-
+// estimator argument underlying the P-RLOCAL = P-SLOCAL derandomization
+// [GKM17, GHK18] that the paper's framework rests on.
+//
+// The estimator is the expected number of monochromatic U-nodes when the
+// already-processed V-nodes keep their colors and the rest are uniform:
+// for a U-node with no red neighbor fixed yet and f free neighbors, the
+// probability of ending all-blue is 2^{-f} (and symmetrically). The
+// initial estimate is Σ_u 2^{1-deg(u)} < 1 whenever degrees exceed
+// log₂(2·|U|); processing V-nodes in any order and giving each the color
+// that does not increase the estimator keeps it below 1, so the final —
+// integral — count of monochromatic U-nodes is 0.
+//
+// Crucially this is an SLOCAL algorithm with locality 1: each V-node's
+// decision reads only the current state of its own neighborhood. That is
+// exactly why splitting is P-SLOCAL-complete while its LOCAL complexity is
+// the open question. It returns the coloring, or an error when the initial
+// expectation is ≥ 1 (degrees too small for the union bound).
+func ConditionalExpectations(in *Instance) ([]int, error) {
+	nu := len(in.AdjU)
+	// Per-U-node bookkeeping: free-neighbor count and fixed-color counts.
+	free := make([]int, nu)
+	fixed := make([][2]int, nu)
+	// adjV: reverse adjacency, V-node -> incident U-nodes.
+	adjV := make([][]int, in.NV)
+	for u, ns := range in.AdjU {
+		free[u] = len(ns)
+		for _, v := range ns {
+			if v < 0 || v >= in.NV {
+				return nil, fmt.Errorf("splitting: U-node %d references V-node %d out of range", u, v)
+			}
+			adjV[v] = append(adjV[v], u)
+		}
+	}
+	// estimate(u) = Pr[u ends monochromatic | current fixing].
+	estimate := func(u int) float64 {
+		e := 0.0
+		if fixed[u][0] == 0 { // could still end all-blue
+			e += math.Pow(0.5, float64(free[u]))
+		}
+		if fixed[u][1] == 0 { // could still end all-red
+			e += math.Pow(0.5, float64(free[u]))
+		}
+		return e
+	}
+	total := 0.0
+	for u := 0; u < nu; u++ {
+		total += estimate(u)
+	}
+	if total >= 1 {
+		return nil, fmt.Errorf("splitting: initial failure expectation %.3f >= 1; degrees too small for the estimator", total)
+	}
+	colors := make([]int, in.NV)
+	for v := 0; v < in.NV; v++ {
+		// Try both colors; keep the one minimizing the estimator over the
+		// affected U-nodes (all other terms are unchanged — locality 1).
+		before := 0.0
+		for _, u := range adjV[v] {
+			before += estimate(u)
+		}
+		deltas := [2]float64{}
+		for c := 0; c < 2; c++ {
+			after := 0.0
+			for _, u := range adjV[v] {
+				free[u]--
+				fixed[u][c]++
+				after += estimate(u)
+				fixed[u][c]--
+				free[u]++
+			}
+			deltas[c] = after - before
+		}
+		choice := 0
+		if deltas[1] < deltas[0] {
+			choice = 1
+		}
+		colors[v] = choice
+		for _, u := range adjV[v] {
+			free[u]--
+			fixed[u][choice]++
+		}
+		total += deltas[choice]
+	}
+	if !in.Check(colors) {
+		// Cannot happen when the initial expectation was < 1: the
+		// estimator never increases and ends integral.
+		return nil, fmt.Errorf("splitting: estimator invariant violated (internal error)")
+	}
+	return colors, nil
+}

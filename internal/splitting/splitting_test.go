@@ -1,0 +1,229 @@
+package splitting
+
+import (
+	"testing"
+
+	"randlocal/internal/check"
+	"randlocal/internal/prng"
+	"randlocal/internal/randomness"
+)
+
+func TestRandomInstanceShape(t *testing.T) {
+	rng := prng.New(1)
+	inst := RandomInstance(20, 100, 15, rng)
+	if err := inst.Validate(15); err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.AdjU) != 20 || inst.NV != 100 {
+		t.Fatalf("shape: %d U-nodes, %d V-nodes", len(inst.AdjU), inst.NV)
+	}
+	for u, ns := range inst.AdjU {
+		seen := map[int]bool{}
+		for _, v := range ns {
+			if seen[v] {
+				t.Fatalf("U-node %d has duplicate neighbor %d", u, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	inst := &Instance{NV: 5, AdjU: [][]int{{0, 1}}}
+	if err := inst.Validate(3); err == nil {
+		t.Error("degree violation accepted")
+	}
+	bad := &Instance{NV: 2, AdjU: [][]int{{0, 7}}}
+	if err := bad.Validate(1); err == nil {
+		t.Error("out-of-range neighbor accepted")
+	}
+}
+
+func TestSolvePrivateSucceedsWHP(t *testing.T) {
+	rng := prng.New(2)
+	inst := RandomInstance(50, 300, 30, rng)
+	fails := 0
+	for trial := 0; trial < 50; trial++ {
+		src := randomness.NewFull(uint64(trial))
+		colors := SolvePrivate(inst, src)
+		if !inst.Check(colors) {
+			fails++
+		}
+	}
+	// Per-U failure 2·2^-30; over 50 U-nodes and 50 trials ≈ 0 expected.
+	if fails > 0 {
+		t.Errorf("private coins failed %d/50 trials", fails)
+	}
+}
+
+func TestSolveKWiseSucceeds(t *testing.T) {
+	rng := prng.New(3)
+	inst := RandomInstance(40, 200, 25, rng)
+	ok := 0
+	for trial := 0; trial < 30; trial++ {
+		fam, err := randomness.NewKWise(16, 32, prng.New(uint64(trial)*31+7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors := SolveKWise(inst, fam)
+		if inst.Check(colors) {
+			ok++
+		}
+	}
+	if ok < 28 {
+		t.Errorf("k-wise solver succeeded only %d/30 times", ok)
+	}
+}
+
+func TestSolveEpsBiasSucceeds(t *testing.T) {
+	rng := prng.New(4)
+	inst := RandomInstance(40, 200, 25, rng)
+	ok := 0
+	for trial := 0; trial < 30; trial++ {
+		gen, err := randomness.NewEpsBias(24, prng.New(uint64(trial)*17+3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors := SolveEpsBias(inst, gen)
+		if inst.Check(colors) {
+			ok++
+		}
+	}
+	if ok < 28 {
+		t.Errorf("eps-bias solver (48 seed bits) succeeded only %d/30 times", ok)
+	}
+}
+
+func TestSolveFromSharedSeedAccounting(t *testing.T) {
+	rng := prng.New(5)
+	inst := RandomInstance(30, 150, 20, rng)
+	shared := randomness.NewShared(4096, prng.New(9))
+	colors, used, err := SolveFromShared(inst, shared, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != 16*32 {
+		t.Errorf("seed bits used = %d, want 512", used)
+	}
+	if len(colors) != 150 {
+		t.Errorf("colors length %d", len(colors))
+	}
+	// Only the shared seed is true randomness — ledger agrees.
+	if got := shared.Ledger().TrueBits(); got != 4096 {
+		t.Errorf("true bits = %d", got)
+	}
+	// Agreement with the global checker.
+	if inst.Check(colors) {
+		adjU := inst.AdjU
+		if err := check.Splitting(adjU, colors); err != nil {
+			t.Errorf("check.Splitting disagrees with Instance.Check: %v", err)
+		}
+	}
+}
+
+func TestSolveFromSharedTooSmallSeed(t *testing.T) {
+	inst := RandomInstance(5, 20, 4, prng.New(1))
+	shared := randomness.NewShared(10, prng.New(2))
+	if _, _, err := SolveFromShared(inst, shared, 16, 32); err == nil {
+		t.Error("undersized shared seed accepted")
+	}
+}
+
+func TestDeterministicSeedScan(t *testing.T) {
+	rng := prng.New(6)
+	inst := RandomInstance(30, 150, 20, rng)
+	colors, tried, err := Deterministic(inst, 24, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Check(colors) {
+		t.Fatal("deterministic scan returned an invalid coloring")
+	}
+	if tried < 1 || tried > 1000 {
+		t.Errorf("tried = %d", tried)
+	}
+	t.Logf("deterministic splitting found a seed after %d candidates", tried)
+}
+
+func TestDeterministicExhaustion(t *testing.T) {
+	// An unsatisfiable instance: a U-node with a single neighbor can never
+	// see two colors.
+	inst := &Instance{NV: 3, AdjU: [][]int{{0}}}
+	if _, _, err := Deterministic(inst, 16, 50); err == nil {
+		t.Error("unsatisfiable instance should exhaust the seed scan")
+	}
+}
+
+func TestCheckRejectsMonochromatic(t *testing.T) {
+	inst := &Instance{NV: 4, AdjU: [][]int{{0, 1, 2}}}
+	if inst.Check([]int{1, 1, 1, 0}) {
+		t.Error("monochromatic neighborhood accepted")
+	}
+	if !inst.Check([]int{1, 0, 1, 0}) {
+		t.Error("valid split rejected")
+	}
+}
+
+func TestRandomInstancePanicsOnInfeasibleDegree(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("degree > nv did not panic")
+		}
+	}()
+	RandomInstance(2, 3, 5, prng.New(1))
+}
+
+func TestConditionalExpectationsAlwaysSucceeds(t *testing.T) {
+	rng := prng.New(41)
+	for trial := 0; trial < 20; trial++ {
+		// deg=16 over 60 U-nodes: initial expectation 60·2^{-15} < 1.
+		inst := RandomInstance(60, 300, 16, rng)
+		colors, err := ConditionalExpectations(inst)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !inst.Check(colors) {
+			t.Fatalf("trial %d: invalid coloring", trial)
+		}
+	}
+}
+
+func TestConditionalExpectationsIsDeterministic(t *testing.T) {
+	inst := RandomInstance(30, 150, 14, prng.New(5))
+	a, err := ConditionalExpectations(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ConditionalExpectations(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatal("derandomized algorithm gave two answers")
+		}
+	}
+}
+
+func TestConditionalExpectationsRejectsSmallDegrees(t *testing.T) {
+	// 8 U-nodes of degree 2: expectation 8·2^{-1} = 4 >= 1.
+	inst := RandomInstance(8, 20, 2, prng.New(6))
+	if _, err := ConditionalExpectations(inst); err == nil {
+		t.Error("estimator should reject infeasible degrees")
+	}
+}
+
+func TestConditionalExpectationsBoundaryExpectation(t *testing.T) {
+	// One U-node with degree 1: expectation exactly 1 (2·2^{-1}) -> reject.
+	inst := &Instance{NV: 2, AdjU: [][]int{{0}}}
+	if _, err := ConditionalExpectations(inst); err == nil {
+		t.Error("expectation exactly 1 should be rejected")
+	}
+}
+
+func TestConditionalExpectationsOutOfRange(t *testing.T) {
+	inst := &Instance{NV: 1, AdjU: [][]int{{5}}}
+	if _, err := ConditionalExpectations(inst); err == nil {
+		t.Error("out-of-range neighbor accepted")
+	}
+}

@@ -1,0 +1,332 @@
+// Package randlocal is a Go reproduction of "On the Use of Randomness in
+// Local Distributed Graph Algorithms" by Mohsen Ghaffari and Fabian Kuhn
+// (PODC 2019, arXiv:1906.00482).
+//
+// The package is the stable public facade over the implementation packages
+// in internal/: a synchronous LOCAL/CONGEST simulator, randomness sources
+// with exact bit accounting (full / k-wise independent / shared seed /
+// one-bit-per-ball sparse), the network-decomposition constructions of
+// Theorems 3.1, 3.6, 3.7 and 4.2, the splitting and conflict-free
+// multi-coloring problems of Lemma 3.4 and Theorem 3.5, Luby's MIS and
+// randomized (Δ+1)-coloring baselines, the SLOCAL model with its
+// decomposition-driven derandomization pipeline, and the Section 4
+// derandomization devices. See README.md for a tour and EXPERIMENTS.md for
+// the per-theorem measurements.
+//
+// Quick start:
+//
+//	g := randlocal.GNPConnected(1024, 4.0/1024, randlocal.NewRNG(1))
+//	d, res, err := randlocal.ElkinNeiman(g, randlocal.NewFullRandomness(7), nil, randlocal.ENConfig{})
+//	if err != nil { ... }
+//	fmt.Println(d.NumColors(), d.MaxClusterDiameter(g), res.Rounds)
+package randlocal
+
+import (
+	"randlocal/internal/check"
+	"randlocal/internal/coloring"
+	"randlocal/internal/decomp"
+	"randlocal/internal/derand"
+	"randlocal/internal/graph"
+	"randlocal/internal/hypergraph"
+	"randlocal/internal/mis"
+	"randlocal/internal/orientation"
+	"randlocal/internal/prng"
+	"randlocal/internal/protocols"
+	"randlocal/internal/randomness"
+	"randlocal/internal/rulingset"
+	"randlocal/internal/sim"
+	"randlocal/internal/slocal"
+	"randlocal/internal/splitting"
+)
+
+// --- Graphs ----------------------------------------------------------------
+
+// Graph is an immutable simple undirected graph on nodes 0..N()-1.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges for a Graph.
+type GraphBuilder = graph.Builder
+
+// RNG is the deterministic pseudo-random generator used by generators and
+// randomness sources.
+type RNG = prng.SplitMix64
+
+// NewRNG returns a seeded generator.
+func NewRNG(seed uint64) *RNG { return prng.New(seed) }
+
+// NewGraphBuilder returns a builder for a graph on n nodes.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// Generators for the graph families used throughout the experiments.
+var (
+	GNP           = graph.GNP
+	GNPConnected  = graph.GNPConnected
+	Ring          = graph.Ring
+	Path          = graph.Path
+	Grid          = graph.Grid
+	Torus         = graph.Torus
+	Complete      = graph.Complete
+	Star          = graph.Star
+	RandomTree    = graph.RandomTree
+	BalancedTree  = graph.BalancedTree
+	RingOfCliques = graph.RingOfCliques
+	RandomRegular = graph.RandomRegular
+	Hypercube     = graph.Hypercube
+	Disjoint      = graph.Disjoint
+	FromEdges     = graph.FromEdges
+	PowerGraph    = graph.Power
+	GraphDiameter = graph.Diameter
+	IsConnected   = graph.IsConnected
+)
+
+// --- Randomness ------------------------------------------------------------
+
+// RandomnessSource hands out per-node accounted random streams under one of
+// the paper's randomness regimes.
+type RandomnessSource = randomness.Source
+
+// FullRandomness is the standard model: unbounded private coins per node.
+type FullRandomness = randomness.Full
+
+// SharedRandomness is the Section 3.2 model: one public seed, nothing else.
+type SharedRandomness = randomness.Shared
+
+// SparseRandomness is the Theorem 3.1/3.7 model: one private bit per holder.
+type SparseRandomness = randomness.Sparse
+
+// KWise is a k-wise independent family over GF(2^m) (the [AS04]
+// construction Theorem 3.5 uses).
+type KWise = randomness.KWise
+
+// EpsBias is an AGHP small-bias generator (the [NN93] route of Lemma 3.4).
+type EpsBias = randomness.EpsBias
+
+// Ledger tracks true and derived random bits consumed.
+type Ledger = randomness.Ledger
+
+// NewFullRandomness returns the unbounded-private-coins source.
+func NewFullRandomness(seed uint64) *FullRandomness { return randomness.NewFull(seed) }
+
+// NewSharedRandomness draws a public seed of nbits true random bits.
+func NewSharedRandomness(nbits int, rng *RNG) *SharedRandomness {
+	return randomness.NewShared(nbits, rng)
+}
+
+// NewSparseRandomness places bitsPerHolder private bits at each holder.
+func NewSparseRandomness(holders []int, bitsPerHolder int, seed uint64) (*SparseRandomness, error) {
+	return randomness.NewSparse(holders, bitsPerHolder, seed)
+}
+
+// NewKWise draws a fresh k-wise independent family over GF(2^m).
+func NewKWise(k int, m uint, rng *RNG) (*KWise, error) { return randomness.NewKWise(k, m, rng) }
+
+// NewEpsBias draws a fresh small-bias generator over GF(2^m).
+func NewEpsBias(m uint, rng *RNG) (*EpsBias, error) { return randomness.NewEpsBias(m, rng) }
+
+// --- The LOCAL/CONGEST simulator --------------------------------------------
+
+// SimConfig configures a simulation (graph, IDs, randomness, bandwidth).
+type SimConfig = sim.Config
+
+// Message is an opaque message payload; nil means "send nothing".
+type Message = sim.Message
+
+// NodeCtx is a node's time-zero knowledge.
+type NodeCtx = sim.NodeCtx
+
+// SimResult carries outputs and round/message/bit accounting.
+type SimResult[T any] = sim.Result[T]
+
+// NodeProgram is a deterministic per-node state machine.
+type NodeProgram[T any] = sim.NodeProgram[T]
+
+// Run executes node programs with the deterministic sequential scheduler.
+func Run[T any](cfg SimConfig, factory func(v int) NodeProgram[T]) (*SimResult[T], error) {
+	return sim.Run(cfg, factory)
+}
+
+// RunConcurrent executes with one goroutine per node and one channel per
+// directed edge (an α-synchronizer); outputs equal Run's for equal configs.
+func RunConcurrent[T any](cfg SimConfig, factory func(v int) NodeProgram[T]) (*SimResult[T], error) {
+	return sim.RunConcurrent(cfg, factory)
+}
+
+// CongestBits is the standard CONGEST bandwidth bound used by experiments.
+var CongestBits = sim.CongestBits
+
+// ID assignment helpers.
+var (
+	SequentialIDs            = sim.SequentialIDs
+	RandomIDs                = sim.RandomIDs
+	AdversarialDescendingIDs = sim.AdversarialDescendingIDs
+)
+
+// --- Network decomposition ---------------------------------------------------
+
+// Decomposition is a strong-diameter network decomposition.
+type Decomposition = decomp.Decomposition
+
+// ENConfig parameterizes the Elkin–Neiman construction.
+type ENConfig = decomp.ENConfig
+
+// LowRandConfig parameterizes the Theorem 3.1/3.7 constructions.
+type LowRandConfig = decomp.LowRandConfig
+
+// SharedRandConfig parameterizes the Theorem 3.6 construction.
+type SharedRandConfig = decomp.SharedRandConfig
+
+// ShatteringConfig parameterizes the Theorem 4.2 construction.
+type ShatteringConfig = decomp.ShatteringConfig
+
+// Decomposition algorithms; see the respective theorem in DESIGN.md.
+var (
+	ElkinNeiman                = decomp.ElkinNeiman
+	LowRand                    = decomp.LowRand
+	StrongLowRand              = decomp.StrongLowRand
+	SharedRand                 = decomp.SharedRand
+	Shattering                 = decomp.Shattering
+	DeterministicDecomposition = decomp.DeterministicSequential
+	GreedyDominatingSet        = decomp.GreedyDominatingSet
+	// MPXPartition is the single-pass Miller–Peng–Xu random-shift
+	// partition [MPX13] that Lemma 3.3's construction builds on.
+	MPXPartition = decomp.MPXPartition
+)
+
+// --- Protocol building blocks ---------------------------------------------------
+
+// BFSOutput is the per-node result of the BFS-tree protocol.
+type BFSOutput = protocols.BFSOutput
+
+var (
+	// BFSTree builds a BFS tree from a root and convergecasts subtree
+	// sizes — the "cluster around a center + upcast" motif of Lemma 3.2.
+	BFSTree = protocols.BFSTree
+	// ElectLeader floods minimum identifiers (leader election).
+	ElectLeader = protocols.ElectLeader
+)
+
+// --- Sinkless orientation -------------------------------------------------------
+
+// SinklessOrientation runs the randomized retry algorithm for sinkless
+// orientation — the exponential randomized-vs-deterministic separation
+// example of the paper's Section 1.1.
+var SinklessOrientation = orientation.Sinkless
+
+// EdgeOrientation is an antisymmetric edge orientation with a sinklessness
+// checker.
+type EdgeOrientation = orientation.Orientation
+
+// --- Ruling sets --------------------------------------------------------------
+
+// RulingSetResult is a computed (α, α·log n)-ruling set.
+type RulingSetResult = rulingset.Result
+
+// RulingSet computes a deterministic (alpha, alpha·b)-ruling set [AGLP89].
+var RulingSet = rulingset.Compute
+
+// VerifyRulingSet checks separation and domination against the graph.
+var VerifyRulingSet = rulingset.Verify
+
+// --- Symmetry breaking ---------------------------------------------------------
+
+// LubyConfig parameterizes Luby's MIS program.
+type LubyConfig = mis.LubyConfig
+
+// LubyOutput is the per-node result of Luby's program.
+type LubyOutput = mis.LubyOutput
+
+// NewLubyProgram returns one node's Luby state machine for direct use with
+// Run or RunConcurrent.
+var NewLubyProgram = mis.NewProgram
+
+// ColoringConfig parameterizes the randomized (Δ+1)-coloring program.
+type ColoringConfig = coloring.Config
+
+var (
+	// Luby runs Luby's randomized MIS in the CONGEST model.
+	Luby = mis.Luby
+	// GreedyMIS is the sequential greedy reference.
+	GreedyMIS = mis.Greedy
+	// RandomizedColoring runs the trial-color (Δ+1)-coloring program.
+	RandomizedColoring = coloring.Randomized
+	// GreedyColoring is the sequential greedy reference.
+	GreedyColoring = coloring.Greedy
+	// ReduceColoring is the classic deterministic k → Δ+1 color
+	// reduction, one LOCAL round per eliminated class.
+	ReduceColoring = coloring.Reduce
+)
+
+// --- SLOCAL and derandomization -------------------------------------------------
+
+// SLOCALAlgorithm is a sequential-local algorithm with bounded locality.
+type SLOCALAlgorithm[T any] = slocal.Algorithm[T]
+
+// SLOCALCompileResult carries the compiled LOCAL schedule's accounting.
+type SLOCALCompileResult[T any] = slocal.CompileResult[T]
+
+// RunSLOCAL executes an SLOCAL algorithm sequentially.
+func RunSLOCAL[T any](g *Graph, algo SLOCALAlgorithm[T], order []int) []T {
+	return slocal.RunSequential(g, algo, order)
+}
+
+// CompileSLOCAL schedules an SLOCAL algorithm as a deterministic LOCAL
+// execution using a decomposition of the appropriate power graph.
+func CompileSLOCAL[T any](g *Graph, algo SLOCALAlgorithm[T], d *Decomposition) (*SLOCALCompileResult[T], error) {
+	return slocal.Compile(g, algo, d)
+}
+
+var (
+	// SLOCALGreedyMIS and SLOCALGreedyColoring are the locality-1 members
+	// of P-SLOCAL the paper cites as motivating examples.
+	SLOCALGreedyMIS      = slocal.GreedyMIS
+	SLOCALGreedyColoring = slocal.GreedyColoring
+	// DerandomizedMIS and DerandomizedColoring run the full zero-
+	// randomness pipeline (decompose G³, compile greedy through it).
+	DerandomizedMIS      = slocal.DerandomizedMIS
+	DerandomizedColoring = slocal.DerandomizedColoring
+	// SeedSearch is Lemma 4.1's counting argument, executable at small n.
+	SeedSearch = derand.SeedSearch
+	// NeighborhoodSplitting is the zero-round demonstration problem used
+	// by the Lemma 4.1 seed search.
+	NeighborhoodSplitting = derand.NeighborhoodSplitting
+	// AllGraphs enumerates every labeled simple graph on n nodes.
+	AllGraphs = derand.AllGraphs
+	// InflatedENConfig derives EN parameters for a declared (inflated) n.
+	InflatedENConfig = derand.InflatedENConfig
+)
+
+// --- Splitting and conflict-free multi-coloring ----------------------------------
+
+// SplittingInstance is a bipartite splitting instance (Lemma 3.4).
+type SplittingInstance = splitting.Instance
+
+// Hypergraph is a hypergraph for conflict-free multi-coloring (Thm 3.5).
+type Hypergraph = hypergraph.Hypergraph
+
+var (
+	RandomSplittingInstance = splitting.RandomInstance
+	SolveSplittingPrivate   = splitting.SolvePrivate
+	SolveSplittingKWise     = splitting.SolveKWise
+	SolveSplittingEpsBias   = splitting.SolveEpsBias
+	// SolveSplittingCondExp derandomizes splitting by the method of
+	// conditional expectations — the pessimistic-estimator machinery of
+	// the P-RLOCAL = P-SLOCAL theorem, as an SLOCAL locality-1 algorithm.
+	SolveSplittingCondExp  = splitting.ConditionalExpectations
+	SolveCFMC              = hypergraph.Solve
+	SolveCFMCDeterministic = hypergraph.SolveSmallDeterministic
+)
+
+// --- Checkers ----------------------------------------------------------------------
+
+var (
+	// CheckMIS, CheckColoring, CheckSplitting and CheckConflictFree are the
+	// global validators; the *Distributed variants are the Definition 2.2
+	// d-round checker programs.
+	CheckMIS                  = check.MIS
+	CheckColoring             = check.Coloring
+	CheckSplitting            = check.Splitting
+	CheckConflictFree         = check.ConflictFree
+	CheckMISDistributed       = check.MISDistributed
+	CheckColoringDistributed  = check.ColoringDistributed
+	CheckDecompositionDistrib = check.DecompositionDistributed
+)
