@@ -11,6 +11,8 @@ package randlocal
 // run doubles as a regression check on the "shape" of each claim.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 )
 
@@ -290,4 +292,86 @@ func BenchmarkE10Sinkless(b *testing.B) {
 		rounds = res.Rounds
 	}
 	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// benchFlood is the fixed-round flooding program the engine-scaling
+// benchmarks run: pure messaging load with no randomness, so the timings
+// isolate scheduler overhead.
+type benchFlood struct {
+	rounds int
+	ctx    *NodeCtx
+	best   uint64
+}
+
+func (f *benchFlood) Init(ctx *NodeCtx) { f.ctx = ctx; f.best = ctx.ID }
+
+func (f *benchFlood) Round(r int, inbox []Message) ([]Message, bool) {
+	for _, m := range inbox {
+		if m == nil {
+			continue
+		}
+		if x, _, ok := ReadUint(m); ok && x < f.best {
+			f.best = x
+		}
+	}
+	if r >= f.rounds {
+		return nil, true
+	}
+	out := make([]Message, f.ctx.Degree)
+	payload := Uints(f.best)
+	for p := range out {
+		out[p] = payload
+	}
+	return out, false
+}
+
+func (f *benchFlood) Output() uint64 { return f.best }
+
+const benchFloodRounds = 8
+
+func benchEngineGraph(n int) *Graph {
+	return GNPConnected(n, 6.0/float64(n), NewRNG(uint64(n)))
+}
+
+// BenchmarkRun is the sequential baseline for the engine-scaling comparison
+// at the sizes the ROADMAP targets.
+func BenchmarkRun(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 20} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := benchEngineGraph(n)
+			cfg := SimConfig{Graph: g, MaxMessageBits: CongestBits(n)}
+			factory := func(int) NodeProgram[uint64] { return &benchFlood{rounds: benchFloodRounds} }
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg, factory)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Messages), "msgs")
+			}
+		})
+	}
+}
+
+// BenchmarkRunParallel measures the sharded worker-pool engine on the same
+// load; at n=1048576 with workers=GOMAXPROCS it must beat BenchmarkRun
+// wall-clock on multi-core hardware.
+func BenchmarkRunParallel(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 20} {
+		for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				g := benchEngineGraph(n)
+				cfg := SimConfig{Graph: g, MaxMessageBits: CongestBits(n)}
+				factory := func(int) NodeProgram[uint64] { return &benchFlood{rounds: benchFloodRounds} }
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := RunParallel(cfg, factory, workers)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.Messages), "msgs")
+				}
+			})
+		}
+	}
 }

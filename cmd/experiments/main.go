@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"randlocal/internal/experiments"
+	"randlocal/internal/sim"
 )
 
 func main() {
@@ -31,7 +32,13 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 2019, "master seed (2019 reproduces EXPERIMENTS.md)")
 	exp := fs.String("experiment", "", "run a single experiment by ID (E1..E9)")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
+	scheduler := fs.String("scheduler", "sequential", "simulation engine: sequential | concurrent | parallel")
+	workers := fs.Int("workers", 0, "worker-pool size for -scheduler parallel (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sched, err := sim.ParseScheduler(*scheduler)
+	if err != nil {
 		return err
 	}
 	if *list {
@@ -40,7 +47,7 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	opt := experiments.Options{Quick: *quick, Seed: *seed, Scheduler: sched, Workers: *workers}
 	if *exp != "" {
 		runner := experiments.ByID(*exp)
 		if runner == nil {

@@ -9,6 +9,7 @@
 //	locsim -graph grid -n 1024 -algo sharedrand
 //	locsim -graph gnp -n 512 -algo luby
 //	locsim -graph gnp -n 256 -algo derand-mis
+//	locsim -graph gnp -n 100000 -algo luby -scheduler parallel -workers 8
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"randlocal/internal/orientation"
 	"randlocal/internal/prng"
 	"randlocal/internal/randomness"
+	"randlocal/internal/sim"
 	"randlocal/internal/slocal"
 )
 
@@ -43,9 +45,16 @@ func run(args []string) error {
 	algo := fs.String("algo", "en", "algorithm: en | lowrand | strong37 | sharedrand | shattering | detdecomp | mpx | sinkless | luby | coloring | derand-mis | derand-coloring")
 	h := fs.Int("h", 2, "bit-holder sparseness for lowrand/strong37")
 	seed := fs.Uint64("seed", 1, "random seed")
+	scheduler := fs.String("scheduler", "sequential", "simulation engine: sequential | concurrent | parallel")
+	workers := fs.Int("workers", 0, "worker-pool size for -scheduler parallel (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sched, err := sim.ParseScheduler(*scheduler)
+	if err != nil {
+		return err
+	}
+	sim.SetDefaultScheduler(sched, *workers)
 
 	rng := prng.New(*seed)
 	var g *graph.Graph

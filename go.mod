@@ -1,0 +1,3 @@
+module randlocal
+
+go 1.24

@@ -60,7 +60,7 @@ func (c *misChecker) Output() bool { return c.answer }
 // MISDistributed runs the 1-round distributed MIS checker and reports
 // whether all nodes answered yes, plus the per-node answers.
 func MISDistributed(g *graph.Graph, in []bool) (bool, []bool, error) {
-	res, err := sim.Run(sim.Config{
+	res, err := sim.Execute(sim.Config{
 		Graph:          g,
 		MaxMessageBits: sim.CongestBits(g.N()),
 	}, func(v int) sim.NodeProgram[bool] {
@@ -113,7 +113,7 @@ func (c *coloringChecker) Output() bool { return c.answer }
 
 // ColoringDistributed runs the 1-round distributed coloring checker.
 func ColoringDistributed(g *graph.Graph, colors []int, maxColors int) (bool, []bool, error) {
-	res, err := sim.Run(sim.Config{
+	res, err := sim.Execute(sim.Config{
 		Graph:          g,
 		MaxMessageBits: sim.CongestBits(g.N()),
 	}, func(v int) sim.NodeProgram[bool] {
@@ -200,7 +200,7 @@ func (c *decompChecker) Output() uint64 { return c.minSeen }
 // ID within d rounds (certifying strong radius ≤ d from that member).
 func DecompositionDistributed(g *graph.Graph, d *decomp.Decomposition, radius int) (bool, error) {
 	progs := make([]*decompChecker, g.N())
-	res, err := sim.Run(sim.Config{
+	res, err := sim.Execute(sim.Config{
 		Graph:          g,
 		MaxMessageBits: sim.CongestBits(g.N()),
 	}, func(v int) sim.NodeProgram[uint64] {

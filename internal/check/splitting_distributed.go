@@ -65,7 +65,7 @@ func SplittingDistributed(adjU [][]int, nv int, colors []int) (bool, error) {
 		}
 	}
 	g := b.Graph()
-	res, err := sim.Run(sim.Config{
+	res, err := sim.Execute(sim.Config{
 		Graph:          g,
 		MaxMessageBits: sim.CongestBits(g.N()),
 	}, func(node int) sim.NodeProgram[bool] {

@@ -152,7 +152,7 @@ func Randomized(g *graph.Graph, src randomness.Source, ids []uint64, cfg Config)
 		Source:         src,
 		MaxMessageBits: sim.CongestBits(g.N()),
 	}
-	res, err := sim.Run(simCfg, func(int) sim.NodeProgram[int] {
+	res, err := sim.Execute(simCfg, func(int) sim.NodeProgram[int] {
 		return &program{cfg: cfg}
 	})
 	if err != nil {

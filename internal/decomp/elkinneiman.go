@@ -216,7 +216,7 @@ func ElkinNeiman(g *graph.Graph, src randomness.Source, ids []uint64, cfg ENConf
 		Source:         src,
 		MaxMessageBits: sim.CongestBits(g.N()),
 	}
-	res, err := sim.Run(simCfg, func(int) sim.NodeProgram[enOutput] {
+	res, err := sim.Execute(simCfg, func(int) sim.NodeProgram[enOutput] {
 		return &enProgram{cfg: cfg}
 	})
 	if err != nil {

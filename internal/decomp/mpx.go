@@ -89,7 +89,7 @@ func (p *mpxProgram) Output() int { return p.out }
 // Every node is assigned to exactly one cluster; clusters have strong
 // diameter O(log n) w.h.p. and the expected cut fraction is O(log n)/cap.
 func MPXPartition(g *graph.Graph, src randomness.Source, ids []uint64) (*MPXResult, error) {
-	res, err := sim.Run(sim.Config{
+	res, err := sim.Execute(sim.Config{
 		Graph:          g,
 		IDs:            ids,
 		Source:         src,

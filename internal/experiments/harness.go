@@ -11,6 +11,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"randlocal/internal/sim"
 )
 
 // Options controls experiment scale.
@@ -19,6 +21,19 @@ type Options struct {
 	Quick bool
 	// Seed is the master seed; experiments derive per-trial seeds from it.
 	Seed uint64
+	// Scheduler selects the simulation engine every experiment's inner
+	// simulations run on (sim.Auto keeps the sequential default); all
+	// three engines produce identical tables for the same seed.
+	Scheduler sim.Scheduler
+	// Workers is the pool size for the parallel engine; 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// applyScheduler installs the options' engine choice as the package-wide
+// default so the algorithm wrappers the experiments call pick it up.
+func (o Options) applyScheduler() {
+	sim.SetDefaultScheduler(o.Scheduler, o.Workers)
 }
 
 // Table is a rendered experiment result.
@@ -115,6 +130,7 @@ func ratio(x float64, n int) string {
 
 // All runs every experiment in order.
 func All(opt Options) []*Table {
+	opt.applyScheduler()
 	tables := []*Table{
 		E1ElkinNeiman(opt),
 		E2LowRand(opt),
@@ -151,7 +167,14 @@ func ByID(id string) func(Options) *Table {
 		"E9":  E9Ledger,
 		"E10": E10Ablations,
 	}
-	return m[strings.ToUpper(id)]
+	fn := m[strings.ToUpper(id)]
+	if fn == nil {
+		return nil
+	}
+	return func(opt Options) *Table {
+		opt.applyScheduler()
+		return fn(opt)
+	}
 }
 
 // IDs lists the experiment identifiers in order.

@@ -360,6 +360,59 @@ func Hypercube(dim int) *Graph {
 	return b.Graph()
 }
 
+// PowerLaw returns a Barabási–Albert preferential-attachment graph: nodes
+// arrive one at a time and attach m edges to existing nodes chosen with
+// probability proportional to their current degree (sampled as a uniform
+// position in the running edge-endpoint list). The degree distribution
+// follows a power law — the skewed-hub regime the GNP and regular families
+// miss — and the graph is connected for m >= 1. It panics if m < 1.
+func PowerLaw(n, m int, rng *prng.SplitMix64) *Graph {
+	if m < 1 {
+		panic(fmt.Sprintf("graph: PowerLaw attachment count %d < 1", m))
+	}
+	b := NewBuilder(n)
+	if n <= m+1 {
+		// Too few nodes for m attachments each: fall back to a clique.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				b.AddEdge(u, v)
+			}
+		}
+		return b.Graph()
+	}
+	// Seed with a star on m+1 nodes, then attach each new node to m
+	// distinct degree-weighted targets.
+	targets := make([]int, 0, 2*m*n)
+	for v := 1; v <= m; v++ {
+		b.AddEdge(0, v)
+		targets = append(targets, 0, v)
+	}
+	// picked is an order-preserving set: map iteration would randomize the
+	// targets list and break same-seed determinism.
+	picked := make([]int, 0, m)
+	for v := m + 1; v < n; v++ {
+		picked = picked[:0]
+		for len(picked) < m {
+			t := targets[rng.Intn(len(targets))]
+			dup := false
+			for _, w := range picked {
+				if w == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				picked = append(picked, t)
+			}
+		}
+		for _, w := range picked {
+			b.AddEdge(v, w)
+			targets = append(targets, v, w)
+		}
+	}
+	return b.Graph()
+}
+
 // Disjoint returns the disjoint union of the given graphs, relabelling the
 // nodes of each successive graph after those of the previous ones. It is
 // used by the derandomization experiments that embed a graph inside a larger

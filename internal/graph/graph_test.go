@@ -648,3 +648,38 @@ func TestStringSummary(t *testing.T) {
 		t.Errorf("String() = %q", s)
 	}
 }
+
+func TestPowerLaw(t *testing.T) {
+	rng := prng.New(7)
+	g := PowerLaw(500, 3, rng)
+	if g.N() != 500 {
+		t.Fatalf("n = %d", g.N())
+	}
+	// m attachments per arriving node plus the m-star seed.
+	if want := 3*(500-4) + 3; g.M() != want {
+		t.Errorf("m = %d, want %d", g.M(), want)
+	}
+	if !IsConnected(g) {
+		t.Error("power-law graph disconnected")
+	}
+	if g.MinDegree() < 3 {
+		t.Errorf("min degree = %d, want >= 3", g.MinDegree())
+	}
+	// The hub regime: the maximum degree should far exceed the average.
+	if float64(g.MaxDegree()) < 3*g.AvgDegree() {
+		t.Errorf("max degree %d not hub-like (avg %.1f)", g.MaxDegree(), g.AvgDegree())
+	}
+
+	// Tiny n falls back to a clique.
+	if k := PowerLaw(3, 3, prng.New(1)); k.M() != 3 {
+		t.Errorf("clique fallback m = %d, want 3", k.M())
+	}
+}
+
+func TestPowerLawDeterminism(t *testing.T) {
+	a := PowerLaw(200, 2, prng.New(99))
+	b := PowerLaw(200, 2, prng.New(99))
+	if !a.Equal(b) {
+		t.Error("PowerLaw not deterministic for equal seeds")
+	}
+}

@@ -188,7 +188,7 @@ func Luby(g *graph.Graph, src randomness.Source, ids []uint64, cfg LubyConfig) (
 		Source:         src,
 		MaxMessageBits: sim.CongestBits(g.N()),
 	}
-	res, err := sim.Run(simCfg, func(int) sim.NodeProgram[LubyOutput] {
+	res, err := sim.Execute(simCfg, func(int) sim.NodeProgram[LubyOutput] {
 		return &lubyProgram{cfg: cfg}
 	})
 	if err != nil {

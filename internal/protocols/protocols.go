@@ -196,7 +196,7 @@ func (b *bfsTree) Output() BFSOutput { return b.out }
 // root's SubtreeSize equals the size of its connected component — a fact
 // the tests assert.
 func BFSTree(g *graph.Graph, rootID uint64, ids []uint64) ([]BFSOutput, *sim.Result[BFSOutput], error) {
-	res, err := sim.Run(sim.Config{
+	res, err := sim.Execute(sim.Config{
 		Graph:          g,
 		IDs:            ids,
 		MaxMessageBits: sim.CongestBits(g.N()),
@@ -212,7 +212,7 @@ func BFSTree(g *graph.Graph, rootID uint64, ids []uint64) ([]BFSOutput, *sim.Res
 // ElectLeader floods minimum identifiers for the given number of rounds
 // (0 = n, always sufficient) and reports each node's elected leader.
 func ElectLeader(g *graph.Graph, ids []uint64, rounds int) ([]uint64, *sim.Result[uint64], error) {
-	res, err := sim.Run(sim.Config{
+	res, err := sim.Execute(sim.Config{
 		Graph:          g,
 		IDs:            ids,
 		MaxMessageBits: sim.CongestBits(g.N()),

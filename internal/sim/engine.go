@@ -37,13 +37,21 @@ type Config struct {
 	// The default (false) is the usual KT1 convention, which changes round
 	// complexities by at most one round.
 	KT0 bool
+	// Scheduler selects the engine Execute dispatches to; Auto (the zero
+	// value) defers to the package default set by SetDefaultScheduler.
+	// Calling Run, RunConcurrent or RunParallel directly ignores it.
+	Scheduler Scheduler
+	// Workers is the pool size for the Parallel scheduler; 0 means the
+	// package default, falling back to runtime.GOMAXPROCS(0).
+	Workers int
 }
 
 // CongestBits returns the standard CONGEST bandwidth bound used throughout
 // the experiments: c·⌈log₂(n+1)⌉ bits with c = 8, comfortably enough for a
-// constant number of identifiers and counters per message, floored at 32
-// bits so that tiny test networks still admit constant-size headers (the
-// model's O(log n) bound absorbs such constants).
+// constant number of identifiers and counters per message. The ⌈log₂(n+1)⌉
+// factor is floored at 6, so the bound never drops below 48 bits and tiny
+// test networks still admit constant-size headers (the model's O(log n)
+// bound absorbs such constants).
 func CongestBits(n int) int {
 	bits := 1
 	for 1<<bits < n+1 {
@@ -59,10 +67,10 @@ func CongestBits(n int) int {
 type Result[T any] struct {
 	// Outputs holds each node's output, indexed by node.
 	Outputs []T
-	// Rounds is the number of communication rounds executed until the last
-	// node halted (a network that halts without sending anything used 1
-	// round of computation but we report the number of Round calls'
-	// maximum, i.e. rounds of the synchronous schedule).
+	// Rounds is the number of synchronous rounds executed: the maximum,
+	// over all nodes, of the number of Round calls the engine made before
+	// that node halted. A network whose every node halts in its first
+	// Round call reports Rounds == 1 even if no message was ever sent.
 	Rounds int
 	// Messages counts non-nil messages delivered.
 	Messages int64
@@ -187,7 +195,7 @@ func (st *engineState[T]) step(v, r int) error {
 	return nil
 }
 
-// collectStats tallies delivered messages and swaps inboxes for the next
+// finishRound tallies delivered messages and swaps inboxes for the next
 // round. It must run after every node's compute phase for round r.
 func (st *engineState[T]) finishRound() {
 	for v := 0; v < st.n; v++ {
@@ -229,10 +237,20 @@ func Run[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Result[T], err
 	if err != nil {
 		return nil, err
 	}
-	maxRounds := cfg.MaxRounds
-	if maxRounds == 0 {
-		maxRounds = DefaultMaxRounds
+	return st.runSequential(st.maxRounds())
+}
+
+// maxRounds resolves the configured round cap.
+func (st *engineState[T]) maxRounds() int {
+	if st.cfg.MaxRounds == 0 {
+		return DefaultMaxRounds
 	}
+	return st.cfg.MaxRounds
+}
+
+// runSequential is the round loop shared by Run and the degenerate
+// single-worker case of RunParallel.
+func (st *engineState[T]) runSequential(maxRounds int) (*Result[T], error) {
 	for r := 0; st.running > 0; r++ {
 		if r >= maxRounds {
 			return nil, &StuckError{MaxRounds: maxRounds, Running: st.running}

@@ -5,13 +5,15 @@
 // degree and (for non-uniform algorithms) the declared network size, and —
 // in the CONGEST model — messages are limited to O(log n) bits.
 //
-// Two engines execute the same node programs: Run is a deterministic
-// sequential scheduler used by tests and experiments, and RunConcurrent
-// spawns one goroutine per node with a channel per directed edge (an
-// α-synchronizer), demonstrating that programs are genuinely local. Both
-// account rounds, message counts and message bits, and both enforce the
-// CONGEST bandwidth bound, so the paper's round-complexity and bandwidth
-// claims become machine-checked assertions.
+// Three engines execute the same node programs: Run is a deterministic
+// sequential scheduler used by tests and experiments, RunConcurrent spawns
+// one goroutine per node with a channel per directed edge (an
+// α-synchronizer), demonstrating that programs are genuinely local, and
+// RunParallel drives contiguous node shards over a fixed worker pool for
+// million-node simulations. All three account rounds, message counts and
+// message bits identically and enforce the CONGEST bandwidth bound, so the
+// paper's round-complexity and bandwidth claims become machine-checked
+// assertions; Execute dispatches between them by Config.Scheduler.
 package sim
 
 import (

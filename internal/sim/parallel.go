@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// stagedMsg is one message in flight between the compute and scatter phases
+// of RunParallel: the destination node, the destination port, and the
+// payload.
+type stagedMsg struct {
+	dst  int
+	port int
+	msg  Message
+}
+
+// parallelWorker is the per-shard state of one pool worker. Each worker owns
+// the contiguous node range [lo, hi): only the owner calls those nodes'
+// Round methods, writes their done flags, and delivers into their inboxes,
+// so no field here or in engineState is ever written by two goroutines.
+type parallelWorker struct {
+	lo, hi int
+	// outbox[s] stages the messages this worker's nodes addressed to nodes
+	// of shard s during the compute phase; shard s applies them during the
+	// scatter phase. Reused (truncated, not freed) across rounds.
+	outbox [][]stagedMsg
+	// Per-round partial counters, merged by the coordinator in worker order
+	// after the scatter barrier. Sums and max are order-independent, so the
+	// merged totals equal the sequential scheduler's exactly.
+	msgs    int64
+	bits    int64
+	maxBits int
+	halted  int
+	// err is the shard's first error by node index; because shards are
+	// contiguous and ascending, the lowest-indexed erroring worker holds
+	// the same error Run would have returned.
+	err error
+}
+
+const (
+	phaseCompute = iota
+	phaseScatter
+)
+
+type phaseCmd struct {
+	phase int
+	round int
+}
+
+// compute runs the compute half of round r for every live node of the shard,
+// staging outgoing messages into per-destination-shard outboxes.
+func (w *parallelWorker) compute(st *engineStateCore, r int) {
+	w.msgs, w.bits, w.maxBits, w.halted = 0, 0, 0, 0
+	w.err = nil
+	for s := range w.outbox {
+		w.outbox[s] = w.outbox[s][:0]
+	}
+	for v := w.lo; v < w.hi; v++ {
+		if st.done[v] {
+			continue
+		}
+		out, nodeDone := st.round(v, r)
+		if len(out) > st.g.Degree(v) {
+			if w.err == nil {
+				w.err = fmt.Errorf("sim: node %d produced %d outbox entries for degree %d", v, len(out), st.g.Degree(v))
+			}
+			continue
+		}
+		for p, msg := range out {
+			if msg == nil {
+				continue
+			}
+			if st.maxMessageBits > 0 && msg.BitLen() > st.maxMessageBits {
+				if w.err == nil {
+					w.err = &BandwidthError{Node: v, Round: r, Bits: msg.BitLen(), Limit: st.maxMessageBits}
+				}
+				break
+			}
+			dst := st.g.Neighbors(v)[p]
+			s := st.shardOf[dst]
+			w.outbox[s] = append(w.outbox[s], stagedMsg{dst: dst, port: st.revPort[v][p], msg: msg})
+		}
+		if nodeDone {
+			st.done[v] = true
+			w.halted++
+		}
+	}
+}
+
+// scatter delivers every message addressed to this shard — gathered from all
+// workers' outboxes — into the shard's next-round slots, then tallies and
+// swaps inbox/next exactly as finishRound does for the whole network.
+func (w *parallelWorker) scatter(st *engineStateCore, self int, workers []*parallelWorker) {
+	for _, src := range workers {
+		for _, sm := range src.outbox[self] {
+			st.next[sm.dst][sm.port] = sm.msg
+		}
+	}
+	for v := w.lo; v < w.hi; v++ {
+		inbox, next := st.inbox[v], st.next[v]
+		for p, msg := range next {
+			if msg != nil {
+				w.msgs++
+				w.bits += int64(msg.BitLen())
+				if msg.BitLen() > w.maxBits {
+					w.maxBits = msg.BitLen()
+				}
+			}
+			inbox[p] = msg
+			next[p] = nil
+		}
+	}
+}
+
+// engineStateCore is the type-independent slice of engineState the workers
+// need; keeping it non-generic lets the phase methods live on plain structs.
+type engineStateCore struct {
+	g              graphView
+	done           []bool
+	inbox          [][]Message
+	next           [][]Message
+	revPort        [][]int
+	shardOf        []int32
+	maxMessageBits int
+	round          func(v, r int) ([]Message, bool)
+}
+
+// graphView is the small read-only graph surface the workers touch.
+type graphView interface {
+	Degree(v int) int
+	Neighbors(v int) []int
+}
+
+// RunParallel executes the network with a sharded worker-pool engine: nodes
+// are partitioned into `workers` contiguous shards, and a fixed pool of
+// `workers` goroutines (default runtime.GOMAXPROCS(0) when workers <= 0)
+// drives each round in two barrier-separated phases. In the compute phase
+// every worker runs its own shard's node programs against the current
+// inboxes and stages outgoing messages into a per-destination-shard outbox;
+// in the scatter phase every worker delivers the messages addressed to its
+// shard into the engine's double-buffered inbox/next arrays and tallies the
+// delivery counters. No per-node goroutines and no per-edge channels are
+// allocated, so the engine scales to million-node graphs where
+// RunConcurrent's goroutine-per-node synchronizer collapses.
+//
+// Every mutable location has a single writer (the shard owner), phases are
+// separated by barriers, and counters merge over order-independent sums and
+// maxima, so for a given Config and seed the Result — outputs, rounds,
+// message count, bit total, and max message size — is identical to Run's and
+// RunConcurrent's. The test suite asserts this equivalence on random GNP,
+// tree and power-law networks under every randomness regime.
+func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers int) (*Result[T], error) {
+	st, err := newEngineState(cfg, factory)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > st.n {
+		workers = st.n
+	}
+	maxRounds := st.maxRounds()
+	if workers <= 1 {
+		// A one-worker pool is the sequential schedule; skip the barriers.
+		return st.runSequential(maxRounds)
+	}
+
+	// Contiguous shards: worker i owns [i·n/W, (i+1)·n/W).
+	shardOf := make([]int32, st.n)
+	pool := make([]*parallelWorker, workers)
+	for i := 0; i < workers; i++ {
+		lo, hi := i*st.n/workers, (i+1)*st.n/workers
+		pool[i] = &parallelWorker{lo: lo, hi: hi, outbox: make([][]stagedMsg, workers)}
+		for v := lo; v < hi; v++ {
+			shardOf[v] = int32(i)
+		}
+	}
+	core := &engineStateCore{
+		g:              st.g,
+		done:           st.done,
+		inbox:          st.inbox,
+		next:           st.next,
+		revPort:        st.revPort,
+		shardOf:        shardOf,
+		maxMessageBits: cfg.MaxMessageBits,
+		round:          func(v, r int) ([]Message, bool) { return st.progs[v].Round(r, st.inbox[v]) },
+	}
+
+	cmds := make([]chan phaseCmd, workers)
+	for i := range cmds {
+		cmds[i] = make(chan phaseCmd, 1)
+	}
+	var barrier, lifetime sync.WaitGroup
+	lifetime.Add(workers)
+	for i, w := range pool {
+		go func(i int, w *parallelWorker) {
+			defer lifetime.Done()
+			for c := range cmds[i] {
+				switch c.phase {
+				case phaseCompute:
+					w.compute(core, c.round)
+				case phaseScatter:
+					w.scatter(core, i, pool)
+				}
+				barrier.Done()
+			}
+		}(i, w)
+	}
+	// runPhase broadcasts one phase and blocks until every worker finishes
+	// it; the WaitGroup plus the command-channel sends give the scatter
+	// phase a happens-before view of every worker's staged outboxes.
+	runPhase := func(c phaseCmd) {
+		barrier.Add(workers)
+		for i := range cmds {
+			cmds[i] <- c
+		}
+		barrier.Wait()
+	}
+	stop := func() {
+		for i := range cmds {
+			close(cmds[i])
+		}
+		lifetime.Wait()
+	}
+
+	for r := 0; st.running > 0; r++ {
+		if r >= maxRounds {
+			stop()
+			return nil, &StuckError{MaxRounds: maxRounds, Running: st.running}
+		}
+		runPhase(phaseCmd{phase: phaseCompute, round: r})
+		// Shards ascend by node index, so the first erroring worker holds
+		// the error of the lowest-indexed erroring node — the same error
+		// the sequential scheduler reports. Like Run, surface it before
+		// any of the round's deliveries are tallied.
+		for _, w := range pool {
+			if w.err != nil {
+				stop()
+				return nil, w.err
+			}
+		}
+		runPhase(phaseCmd{phase: phaseScatter, round: r})
+		for _, w := range pool {
+			st.running -= w.halted
+			st.messages += w.msgs
+			st.bits += w.bits
+			if w.maxBits > st.maxBits {
+				st.maxBits = w.maxBits
+			}
+		}
+		st.rounds++
+	}
+	stop()
+	return st.result(), nil
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Scheduler selects which engine executes a simulation. All three produce
+// identical Results for the same Config and seed; they differ only in how
+// the synchronous schedule is realized on the host machine.
+type Scheduler int
+
+const (
+	// Auto defers to the package-wide default (see SetDefaultScheduler);
+	// out of the box that is Sequential. It is the zero value, so a Config
+	// that never mentions schedulers keeps its historical behavior.
+	Auto Scheduler = iota
+	// Sequential is the deterministic single-core scheduler of Run.
+	Sequential
+	// Concurrent is the goroutine-per-node α-synchronizer of RunConcurrent.
+	Concurrent
+	// Parallel is the sharded worker-pool engine of RunParallel.
+	Parallel
+)
+
+// String returns the flag-friendly name of the scheduler.
+func (s Scheduler) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case Sequential:
+		return "sequential"
+	case Concurrent:
+		return "concurrent"
+	case Parallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("Scheduler(%d)", int(s))
+	}
+}
+
+// ParseScheduler parses a -scheduler flag value. It accepts the String
+// names plus the short aliases "seq" and "par".
+func ParseScheduler(name string) (Scheduler, error) {
+	switch name {
+	case "", "auto":
+		return Auto, nil
+	case "sequential", "seq":
+		return Sequential, nil
+	case "concurrent":
+		return Concurrent, nil
+	case "parallel", "par":
+		return Parallel, nil
+	default:
+		return Auto, fmt.Errorf("sim: unknown scheduler %q (want sequential, concurrent or parallel)", name)
+	}
+}
+
+var defaultMu sync.RWMutex
+var defaultScheduler = Sequential
+var defaultWorkers = 0 // 0 = GOMAXPROCS for the parallel engine
+
+// SetDefaultScheduler sets the engine used when a Config leaves Scheduler
+// as Auto — the lever the command-line front ends use to steer every
+// simulation an algorithm wrapper starts internally. Sched Auto resets to
+// Sequential. Workers applies to the Parallel engine only; <= 0 means
+// runtime.GOMAXPROCS(0).
+func SetDefaultScheduler(sched Scheduler, workers int) {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if sched == Auto {
+		sched = Sequential
+	}
+	defaultScheduler = sched
+	defaultWorkers = workers
+}
+
+// DefaultScheduler returns the current package-wide default engine and
+// worker count.
+func DefaultScheduler() (Scheduler, int) {
+	defaultMu.RLock()
+	defer defaultMu.RUnlock()
+	return defaultScheduler, defaultWorkers
+}
+
+// Execute runs the simulation on the engine named by cfg.Scheduler,
+// resolving Auto through the package default. Every algorithm wrapper in
+// this repository executes through it, so one SetDefaultScheduler call (or
+// one Config.Scheduler field) switches the whole stack between the
+// sequential, concurrent and parallel engines.
+func Execute[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Result[T], error) {
+	sched, workers := cfg.Scheduler, cfg.Workers
+	ds, dw := DefaultScheduler()
+	if sched == Auto {
+		sched = ds
+	}
+	if workers == 0 {
+		workers = dw
+	}
+	switch sched {
+	case Concurrent:
+		return RunConcurrent(cfg, factory)
+	case Parallel:
+		return RunParallel(cfg, factory, workers)
+	default:
+		return Run(cfg, factory)
+	}
+}

@@ -72,6 +72,7 @@ var (
 	RingOfCliques = graph.RingOfCliques
 	RandomRegular = graph.RandomRegular
 	Hypercube     = graph.Hypercube
+	PowerLaw      = graph.PowerLaw
 	Disjoint      = graph.Disjoint
 	FromEdges     = graph.FromEdges
 	PowerGraph    = graph.Power
@@ -151,8 +152,55 @@ func RunConcurrent[T any](cfg SimConfig, factory func(v int) NodeProgram[T]) (*S
 	return sim.RunConcurrent(cfg, factory)
 }
 
+// RunParallel executes with the sharded worker-pool engine: contiguous node
+// shards over a fixed pool of `workers` goroutines (<= 0 means GOMAXPROCS),
+// no per-node goroutines and no per-edge channels, so it scales to
+// million-node graphs. Results are identical to Run's for equal configs.
+func RunParallel[T any](cfg SimConfig, factory func(v int) NodeProgram[T], workers int) (*SimResult[T], error) {
+	return sim.RunParallel(cfg, factory, workers)
+}
+
+// Execute dispatches to Run, RunConcurrent or RunParallel by cfg.Scheduler,
+// resolving SchedulerAuto through the package default.
+func Execute[T any](cfg SimConfig, factory func(v int) NodeProgram[T]) (*SimResult[T], error) {
+	return sim.Execute(cfg, factory)
+}
+
+// Scheduler names one of the three engines; see the Scheduler* constants.
+type Scheduler = sim.Scheduler
+
+// The engine choices for SimConfig.Scheduler and SetDefaultScheduler.
+const (
+	SchedulerAuto       = sim.Auto
+	SchedulerSequential = sim.Sequential
+	SchedulerConcurrent = sim.Concurrent
+	SchedulerParallel   = sim.Parallel
+)
+
+var (
+	// ParseScheduler parses a -scheduler flag value ("sequential",
+	// "concurrent", "parallel", plus short aliases).
+	ParseScheduler = sim.ParseScheduler
+	// SetDefaultScheduler steers every simulation whose config leaves
+	// Scheduler as Auto — including those started inside the algorithm
+	// wrappers (Luby, ElkinNeiman, the distributed checkers, ...).
+	SetDefaultScheduler = sim.SetDefaultScheduler
+	// DefaultScheduler reports the current package-wide default.
+	DefaultScheduler = sim.DefaultScheduler
+)
+
 // CongestBits is the standard CONGEST bandwidth bound used by experiments.
 var CongestBits = sim.CongestBits
+
+// The varint message codec, for custom node programs that want honest
+// Θ(log x)-bit CONGEST accounting per encoded field.
+var (
+	AppendUint     = sim.AppendUint
+	Uints          = sim.Uints
+	ReadUint       = sim.ReadUint
+	DecodeUints    = sim.DecodeUints
+	DecodeAllUints = sim.DecodeAllUints
+)
 
 // ID assignment helpers.
 var (

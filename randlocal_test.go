@@ -222,3 +222,52 @@ func TestFacadeSLOCAL(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFacadeParallelScheduler(t *testing.T) {
+	// An end-to-end Luby run must produce the identical MIS and accounting
+	// on all three engines: the wrappers dispatch through Execute, so the
+	// package-wide default switches every internal simulation at once.
+	g := PowerLaw(400, 3, NewRNG(17))
+	run := func() ([]bool, *SimResult[LubyOutput]) {
+		in, res, err := Luby(g, NewFullRandomness(23), nil, LubyConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckMIS(g, in); err != nil {
+			t.Fatal(err)
+		}
+		return in, res
+	}
+	wantIn, wantRes := run()
+	defer SetDefaultScheduler(SchedulerSequential, 0)
+	for _, sched := range []Scheduler{SchedulerConcurrent, SchedulerParallel} {
+		SetDefaultScheduler(sched, 0)
+		gotIn, gotRes := run()
+		for v := range wantIn {
+			if gotIn[v] != wantIn[v] {
+				t.Fatalf("%v: MIS differs at node %d", sched, v)
+			}
+		}
+		if gotRes.Rounds != wantRes.Rounds || gotRes.Messages != wantRes.Messages || gotRes.BitsTotal != wantRes.BitsTotal {
+			t.Errorf("%v: accounting (%d,%d,%d) differs from sequential (%d,%d,%d)",
+				sched, gotRes.Rounds, gotRes.Messages, gotRes.BitsTotal,
+				wantRes.Rounds, wantRes.Messages, wantRes.BitsTotal)
+		}
+	}
+
+	// Direct RunParallel through the facade with an explicit worker count.
+	cfg := SimConfig{Graph: g, Source: NewFullRandomness(5), MaxMessageBits: CongestBits(g.N())}
+	factory := func(int) NodeProgram[LubyOutput] { return NewLubyProgram(LubyConfig{}) }
+	seqRes, err := Run(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := RunParallel(cfg, factory, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parRes.Rounds != seqRes.Rounds || parRes.Messages != seqRes.Messages {
+		t.Errorf("RunParallel accounting (%d,%d) differs from Run (%d,%d)",
+			parRes.Rounds, parRes.Messages, seqRes.Rounds, seqRes.Messages)
+	}
+}
