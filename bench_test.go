@@ -296,7 +296,9 @@ func BenchmarkE10Sinkless(b *testing.B) {
 
 // benchFlood is the fixed-round flooding program the engine-scaling
 // benchmarks run: pure messaging load with no randomness, so the timings
-// isolate scheduler overhead.
+// isolate scheduler overhead. It assembles its outbox in the engine-owned
+// NodeCtx.Outbox scratch (a window of the engine's flat message plane), so
+// the only per-round allocation left is the payload itself.
 type benchFlood struct {
 	rounds int
 	ctx    *NodeCtx
@@ -317,7 +319,7 @@ func (f *benchFlood) Round(r int, inbox []Message) ([]Message, bool) {
 	if r >= f.rounds {
 		return nil, true
 	}
-	out := make([]Message, f.ctx.Degree)
+	out := f.ctx.Outbox
 	payload := Uints(f.best)
 	for p := range out {
 		out[p] = payload

@@ -57,7 +57,8 @@ func DeterministicSequential(g *graph.Graph) *Decomposition {
 				// Expand one more layer.
 				var next []int
 				for _, u := range ball[frontierStart:] {
-					for _, w := range g.Neighbors(u) {
+					for _, w32 := range g.Neighbors(u) {
+						w := int(w32)
 						if !pool[w] {
 							continue
 						}

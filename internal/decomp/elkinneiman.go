@@ -276,7 +276,8 @@ func ElkinNeimanReference(g *graph.Graph, ids []uint64, maxPhases int, radius fu
 				if dist[u] == rv {
 					continue
 				}
-				for _, w := range g.Neighbors(u) {
+				for _, w32 := range g.Neighbors(u) {
+					w := int(w32)
 					if !alive[w] {
 						continue
 					}

@@ -145,7 +145,8 @@ func sharedRandCore(
 					if dist[u] == total {
 						continue
 					}
-					for _, w := range g.Neighbors(u) {
+					for _, w32 := range g.Neighbors(u) {
+						w := int(w32)
 						if !active[w] {
 							continue
 						}

@@ -122,6 +122,18 @@ func Star(n int) *Graph {
 
 // Grid returns the rows×cols grid graph. Node (r, c) has index r*cols+c.
 func Grid(rows, cols int) *Graph {
+	return Grid2D(rows, cols, false)
+}
+
+// Grid2D returns the rows×cols grid with 4-connected adjacency or — when
+// diagonals is true — the 8-connected "king graph" variant, the classic
+// bounded-degree planar-ish topologies for experiments where Δ must stay
+// constant as n grows. Node (r, c) has index r*cols+c.
+// Grid2D(rows, cols, false) equals Grid(rows, cols).
+func Grid2D(rows, cols int, diagonals bool) *Graph {
+	if rows < 0 || cols < 0 {
+		panic("graph: Grid2D needs rows, cols >= 0")
+	}
 	b := NewBuilder(rows * cols)
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
@@ -131,6 +143,14 @@ func Grid(rows, cols int) *Graph {
 			}
 			if r+1 < rows {
 				b.AddEdge(v, v+cols)
+				if diagonals {
+					if c+1 < cols {
+						b.AddEdge(v, v+cols+1)
+					}
+					if c > 0 {
+						b.AddEdge(v, v+cols-1)
+					}
+				}
 			}
 		}
 	}

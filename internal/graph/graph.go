@@ -7,18 +7,38 @@
 // Nodes are identified by dense indices 0..N()-1. The separate notion of a
 // (possibly adversarial) Θ(log n)-bit identifier lives in package sim, which
 // assigns identifiers on top of these indices.
+//
+// # Memory layout
+//
+// Graphs are stored in compressed-sparse-row (CSR) form: one flat offsets
+// array and one flat neighbor array, so iterating a neighborhood — the inner
+// loop of every simulator round and every traversal — is a sequential scan
+// over contiguous memory rather than a pointer chase through per-node
+// slices. The reverse-port table (for every directed half-edge (v, p), the
+// flat index of the opposite half-edge) is a property of the graph, not of a
+// simulation run, so it is precomputed here once per graph and shared by
+// every engine that runs on it.
 package graph
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
-// Graph is an immutable simple undirected graph. The zero value is the empty
-// graph with no nodes. Construct graphs with a Builder or a generator.
+// Graph is an immutable simple undirected graph in compressed-sparse-row
+// form. The zero value is the empty graph with no nodes. Construct graphs
+// with a Builder or a generator.
+//
+// The node indices of every undirected edge {u, v} appear twice in adj, once
+// as the directed half-edge u→v and once as v→u. Half-edge i = off[v] + p is
+// "port p of node v" — exactly the port numbering the CONGEST/LOCAL node
+// programs use to address their neighbors.
 type Graph struct {
-	adj   [][]int // sorted neighbor lists
+	off   []int64 // off[v]..off[v+1] frames v's neighbor row in adj; len N()+1
+	adj   []int32 // flat neighbor array; every row sorted strictly ascending
+	rev   []int32 // rev[i] = flat index of the reverse half-edge of i
 	edges int
 }
 
@@ -26,78 +46,103 @@ type Graph struct {
 var ErrNodeRange = errors.New("graph: node index out of range")
 
 // N returns the number of nodes.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int {
+	if len(g.off) == 0 {
+		return 0
+	}
+	return len(g.off) - 1
+}
 
 // M returns the number of edges.
 func (g *Graph) M() int { return g.edges }
 
 // Degree returns the degree of node v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.off[v+1] - g.off[v]) }
 
-// Neighbors returns the sorted neighbor list of v. The returned slice is
-// owned by the graph and must not be modified.
-func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+// Neighbors returns the sorted neighbor row of v as a subslice of the flat
+// CSR array: no allocation, no copy. The returned slice is owned by the
+// graph and must not be modified. The element at position p is the node
+// behind port p of v.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[g.off[v]:g.off[v+1]] }
+
+// CSR exposes the graph's flat arrays — offsets, neighbors, and the
+// reverse-half-edge table — for engines that index per-port state by
+// half-edge. All three slices are owned by the graph and must be treated as
+// read-only. rev satisfies adj[rev[off[v]+p]] == v for every port p of every
+// node v: the reverse half-edge of "port p of v" is the port of v in the
+// neighbor's own row.
+func (g *Graph) CSR() (off []int64, adj, rev []int32) { return g.off, g.adj, g.rev }
 
 // HasEdge reports whether {u, v} is an edge. It runs in O(log deg(u)).
 func (g *Graph) HasEdge(u, v int) bool {
-	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+	if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
 		return false
 	}
-	ns := g.adj[u]
-	i := sort.SearchInts(ns, v)
-	return i < len(ns) && ns[i] == v
+	return g.PortOf(u, v) >= 0
 }
 
-// PortOf returns the index of neighbor v in u's neighbor list, or -1 when
+// PortOf returns the index of neighbor v in u's neighbor row, or -1 when
 // {u, v} is not an edge. Ports are how CONGEST/LOCAL node programs address
 // their neighbors without knowing global indices (the KT0 assumption).
 func (g *Graph) PortOf(u, v int) int {
-	ns := g.adj[u]
-	i := sort.SearchInts(ns, v)
-	if i < len(ns) && ns[i] == v {
+	if v < 0 || v >= g.N() {
+		return -1
+	}
+	ns := g.Neighbors(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= int32(v) })
+	if i < len(ns) && ns[i] == int32(v) {
 		return i
 	}
 	return -1
 }
 
+// ReversePort returns, for port p of node u, the port of u in that
+// neighbor's own row: Neighbors(w)[ReversePort(u, p)] == u for
+// w = Neighbors(u)[p]. It is an O(1) lookup in the precomputed table.
+func (g *Graph) ReversePort(u, p int) int {
+	i := g.off[u] + int64(p)
+	return int(int64(g.rev[i]) - g.off[g.adj[i]])
+}
+
 // MaxDegree returns the maximum degree Δ, or 0 for the empty graph.
 func (g *Graph) MaxDegree() int {
-	d := 0
-	for _, ns := range g.adj {
-		if len(ns) > d {
-			d = len(ns)
+	d := int64(0)
+	for v := 0; v+1 < len(g.off); v++ {
+		if deg := g.off[v+1] - g.off[v]; deg > d {
+			d = deg
 		}
 	}
-	return d
+	return int(d)
 }
 
 // MinDegree returns the minimum degree, or 0 for the empty graph.
 func (g *Graph) MinDegree() int {
-	if len(g.adj) == 0 {
+	n := g.N()
+	if n == 0 {
 		return 0
 	}
-	d := len(g.adj[0])
-	for _, ns := range g.adj[1:] {
-		if len(ns) < d {
-			d = len(ns)
+	d := g.off[1] - g.off[0]
+	for v := 1; v < n; v++ {
+		if deg := g.off[v+1] - g.off[v]; deg < d {
+			d = deg
 		}
 	}
-	return d
+	return int(d)
 }
 
 // AvgDegree returns the average degree 2M/N, or 0 for the empty graph.
 func (g *Graph) AvgDegree() float64 {
-	if len(g.adj) == 0 {
+	if g.N() == 0 {
 		return 0
 	}
-	return 2 * float64(g.edges) / float64(len(g.adj))
+	return 2 * float64(g.edges) / float64(g.N())
 }
 
 // Edges calls fn once per edge with u < v. Iteration order is deterministic.
 func (g *Graph) Edges(fn func(u, v int)) {
-	for u, ns := range g.adj {
-		for _, v := range ns {
-			if u < v {
+	for u := 0; u+1 < len(g.off); u++ {
+		for _, w := range g.adj[g.off[u]:g.off[u+1]] {
+			if v := int(w); u < v {
 				fn(u, v)
 			}
 		}
@@ -106,11 +151,12 @@ func (g *Graph) Edges(fn func(u, v int)) {
 
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
-	adj := make([][]int, len(g.adj))
-	for i, ns := range g.adj {
-		adj[i] = append([]int(nil), ns...)
+	return &Graph{
+		off:   append([]int64(nil), g.off...),
+		adj:   append([]int32(nil), g.adj...),
+		rev:   append([]int32(nil), g.rev...),
+		edges: g.edges,
 	}
-	return &Graph{adj: adj, edges: g.edges}
 }
 
 // Equal reports whether g and h have identical node sets and edge sets.
@@ -118,15 +164,14 @@ func (g *Graph) Equal(h *Graph) bool {
 	if g.N() != h.N() || g.M() != h.M() {
 		return false
 	}
-	for v := range g.adj {
-		a, b := g.adj[v], h.adj[v]
-		if len(a) != len(b) {
+	for v := 0; v < g.N(); v++ {
+		if g.off[v+1]-g.off[v] != h.off[v+1]-h.off[v] {
 			return false
 		}
-		for i := range a {
-			if a[i] != b[i] {
-				return false
-			}
+	}
+	for i := range g.adj {
+		if g.adj[i] != h.adj[i] {
+			return false
 		}
 	}
 	return true
@@ -137,40 +182,67 @@ func (g *Graph) String() string {
 	return fmt.Sprintf("graph{n=%d m=%d Δ=%d}", g.N(), g.M(), g.MaxDegree())
 }
 
-// Validate checks internal invariants: sorted neighbor lists without
-// duplicates or self-loops, symmetric adjacency, and a consistent edge count.
+// Validate checks internal invariants: well-formed CSR offsets, sorted
+// neighbor rows without duplicates or self-loops, symmetric adjacency, a
+// consistent edge count, and a reverse-port table that round-trips.
 // Generators and Builder always produce valid graphs; Validate exists for
 // tests and for defensive checks after hand-built graphs.
 func (g *Graph) Validate() error {
-	count := 0
-	for u, ns := range g.adj {
-		for i, v := range ns {
-			if v < 0 || v >= len(g.adj) {
-				return fmt.Errorf("graph: node %d has out-of-range neighbor %d: %w", u, v, ErrNodeRange)
-			}
-			if v == u {
-				return fmt.Errorf("graph: node %d has a self-loop", u)
-			}
-			if i > 0 && ns[i-1] >= v {
-				return fmt.Errorf("graph: node %d neighbor list not strictly sorted at position %d", u, i)
-			}
-			if !g.HasEdge(v, u) {
-				return fmt.Errorf("graph: edge {%d,%d} not symmetric", u, v)
-			}
-			count++
+	n := g.N()
+	if len(g.off) != 0 && g.off[0] != 0 {
+		return fmt.Errorf("graph: offsets do not start at 0")
+	}
+	for v := 0; v < n; v++ {
+		if g.off[v+1] < g.off[v] {
+			return fmt.Errorf("graph: offsets decrease at node %d", v)
 		}
 	}
-	if count != 2*g.edges {
-		return fmt.Errorf("graph: edge count %d inconsistent with adjacency half-edges %d", g.edges, count)
+	if n > 0 && g.off[n] != int64(len(g.adj)) {
+		return fmt.Errorf("graph: offsets end at %d, adjacency has %d half-edges", g.off[n], len(g.adj))
+	}
+	if len(g.rev) != len(g.adj) {
+		return fmt.Errorf("graph: reverse-port table has %d entries for %d half-edges", len(g.rev), len(g.adj))
+	}
+	for u := 0; u < n; u++ {
+		row := g.Neighbors(u)
+		for p, w := range row {
+			if w < 0 || int(w) >= n {
+				return fmt.Errorf("graph: node %d has out-of-range neighbor %d: %w", u, w, ErrNodeRange)
+			}
+			if int(w) == u {
+				return fmt.Errorf("graph: node %d has a self-loop", u)
+			}
+			if p > 0 && row[p-1] >= w {
+				return fmt.Errorf("graph: node %d neighbor row not strictly sorted at port %d", u, p)
+			}
+			if !g.HasEdge(int(w), u) {
+				return fmt.Errorf("graph: edge {%d,%d} not symmetric", u, w)
+			}
+			i := g.off[u] + int64(p)
+			j := int64(g.rev[i])
+			if j < 0 || j >= int64(len(g.adj)) {
+				return fmt.Errorf("graph: half-edge %d has out-of-range reverse %d", i, j)
+			}
+			if int(g.adj[j]) != u || int64(g.rev[j]) != i {
+				return fmt.Errorf("graph: reverse-port table does not round-trip at half-edge %d", i)
+			}
+		}
+	}
+	if int64(len(g.adj)) != 2*int64(g.edges) {
+		return fmt.Errorf("graph: edge count %d inconsistent with adjacency half-edges %d", g.edges, len(g.adj))
 	}
 	return nil
 }
 
 // Builder accumulates edges and produces an immutable Graph. Duplicate edges
 // and self-loops are silently dropped, so generators can over-propose edges.
+//
+// Internally the builder records packed directed half-edges and finalizes
+// them straight into CSR form with two stable counting-sort passes — O(n+m)
+// total, one pass over the data per radix, no per-node sort-and-copy.
 type Builder struct {
-	n   int
-	adj [][]int
+	n     int
+	pairs []uint64 // packed half-edges u<<32|v, both directions per AddEdge
 }
 
 // NewBuilder returns a builder for a graph on n nodes. It panics if n < 0.
@@ -178,7 +250,10 @@ func NewBuilder(n int) *Builder {
 	if n < 0 {
 		panic("graph: negative node count")
 	}
-	return &Builder{n: n, adj: make([][]int, n)}
+	if n > math.MaxInt32 {
+		panic("graph: node count exceeds the int32 CSR index range")
+	}
+	return &Builder{n: n}
 }
 
 // AddEdge records the undirected edge {u, v}. Self-loops are ignored.
@@ -190,30 +265,81 @@ func (b *Builder) AddEdge(u, v int) {
 	if u == v {
 		return
 	}
-	b.adj[u] = append(b.adj[u], v)
-	b.adj[v] = append(b.adj[v], u)
+	b.pairs = append(b.pairs, uint64(u)<<32|uint64(uint32(v)), uint64(v)<<32|uint64(uint32(u)))
 }
 
-// Graph finalizes the builder: it sorts and deduplicates neighbor lists and
-// returns the immutable graph. The builder may be reused afterwards; edges
-// added so far remain.
+// Graph finalizes the builder into an immutable CSR graph. The builder may
+// be reused afterwards; edges added so far remain.
 func (b *Builder) Graph() *Graph {
-	adj := make([][]int, b.n)
-	edges := 0
-	for v := range b.adj {
-		ns := append([]int(nil), b.adj[v]...)
-		sort.Ints(ns)
-		out := ns[:0]
-		for i, w := range ns {
-			if i > 0 && ns[i-1] == w {
-				continue
-			}
-			out = append(out, w)
-		}
-		adj[v] = append([]int(nil), out...)
-		edges += len(out)
+	return fromHalfEdges(b.n, b.pairs)
+}
+
+// fromHalfEdges builds a CSR graph from packed directed half-edges (each
+// undirected edge present in both directions, duplicates allowed).
+func fromHalfEdges(n int, pairs []uint64) *Graph {
+	if int64(len(pairs)) > math.MaxInt32 {
+		panic("graph: half-edge count exceeds the int32 CSR index range")
 	}
-	return &Graph{adj: adj, edges: edges / 2}
+	// Two stable counting-sort passes — by v, then by u — leave the
+	// half-edges in (u, v) lexicographic order, so rows come out sorted and
+	// duplicates sit adjacent.
+	byV := make([]uint64, len(pairs))
+	count := make([]int64, n+1)
+	for _, p := range pairs {
+		count[uint32(p)+1]++
+	}
+	for i := 1; i <= n; i++ {
+		count[i] += count[i-1]
+	}
+	for _, p := range pairs {
+		k := uint32(p)
+		byV[count[k]] = p
+		count[k]++
+	}
+	sorted := make([]uint64, len(pairs))
+	for i := range count {
+		count[i] = 0
+	}
+	for _, p := range byV {
+		count[(p>>32)+1]++
+	}
+	for i := 1; i <= n; i++ {
+		count[i] += count[i-1]
+	}
+	for _, p := range byV {
+		k := p >> 32
+		sorted[count[k]] = p
+		count[k]++
+	}
+	// Dedup while writing the flat neighbor array and per-node row sizes.
+	off := make([]int64, n+1)
+	adj := make([]int32, 0, len(sorted))
+	prev := ^uint64(0) // impossible pair: u == v is never recorded
+	for _, p := range sorted {
+		if p == prev {
+			continue
+		}
+		prev = p
+		off[(p>>32)+1]++
+		adj = append(adj, int32(uint32(p)))
+	}
+	for v := 1; v <= n; v++ {
+		off[v] += off[v-1]
+	}
+	// Reverse-port table in O(m): scanning half-edges (u → w) in global
+	// order visits, for each fixed w, the sources u in ascending order —
+	// exactly w's own row order — so a per-node cursor hands out the
+	// reverse positions.
+	rev := make([]int32, len(adj))
+	cur := make([]int32, n)
+	for u := 0; u < n; u++ {
+		for i := off[u]; i < off[u+1]; i++ {
+			w := adj[i]
+			rev[i] = int32(off[w]) + cur[w]
+			cur[w]++
+		}
+	}
+	return &Graph{off: off, adj: adj, rev: rev, edges: len(adj) / 2}
 }
 
 // FromEdges builds a graph on n nodes from an explicit edge list.

@@ -76,7 +76,7 @@ func TestHasEdgeOutOfRangeIsFalse(t *testing.T) {
 func TestPortOf(t *testing.T) {
 	g := FromEdges(4, [][2]int{{0, 1}, {0, 2}, {0, 3}})
 	for i, v := range g.Neighbors(0) {
-		if p := g.PortOf(0, v); p != i {
+		if p := g.PortOf(0, int(v)); p != i {
 			t.Errorf("PortOf(0,%d) = %d, want %d", v, p, i)
 		}
 	}
@@ -578,8 +578,9 @@ func TestEdgesIteration(t *testing.T) {
 
 func TestValidateCatchesCorruption(t *testing.T) {
 	g := Path(3)
-	// Corrupt: make adjacency asymmetric.
-	g.adj[0] = append(g.adj[0], 2)
+	// Corrupt: rewrite node 0's only neighbor from 1 to 2 in the flat CSR
+	// array, making the adjacency asymmetric.
+	g.adj[0] = 2
 	if err := g.Validate(); err == nil {
 		t.Error("Validate accepted asymmetric adjacency")
 	}

@@ -44,7 +44,7 @@ func InducedSubgraph(g *Graph, nodes []int) (sub *Graph, origOf []int) {
 	b := NewBuilder(len(nodes))
 	for i, v := range nodes {
 		for _, w := range g.Neighbors(v) {
-			if j, ok := newOf[w]; ok && j > i {
+			if j, ok := newOf[int(w)]; ok && j > i {
 				b.AddEdge(i, j)
 			}
 		}

@@ -17,19 +17,19 @@ func (g *Graph) MultiBFS(srcs []int) []int {
 	for i := range dist {
 		dist[i] = Unreachable
 	}
-	queue := make([]int, 0, len(srcs))
+	queue := make([]int32, 0, len(srcs))
 	for _, s := range srcs {
 		if s < 0 || s >= g.N() {
 			panic("graph: BFS source out of range")
 		}
 		if dist[s] == Unreachable {
 			dist[s] = 0
-			queue = append(queue, s)
+			queue = append(queue, int32(s))
 		}
 	}
 	for head := 0; head < len(queue); head++ {
 		v := queue[head]
-		for _, w := range g.adj[v] {
+		for _, w := range g.adj[g.off[v]:g.off[v+1]] {
 			if dist[w] == Unreachable {
 				dist[w] = dist[v] + 1
 				queue = append(queue, w)
@@ -51,17 +51,17 @@ func (g *Graph) MultiBFSOwner(srcs []int) (dist, owner []int) {
 		dist[i] = Unreachable
 		owner[i] = Unreachable
 	}
-	queue := make([]int, 0, len(srcs))
+	queue := make([]int32, 0, len(srcs))
 	for _, s := range srcs {
 		if dist[s] == Unreachable {
 			dist[s] = 0
 			owner[s] = s
-			queue = append(queue, s)
+			queue = append(queue, int32(s))
 		}
 	}
 	for head := 0; head < len(queue); head++ {
 		v := queue[head]
-		for _, w := range g.adj[v] {
+		for _, w := range g.adj[g.off[v]:g.off[v+1]] {
 			if dist[w] == Unreachable {
 				dist[w] = dist[v] + 1
 				owner[w] = owner[v]
@@ -80,16 +80,16 @@ func Components(g *Graph) (comp []int, k int) {
 	for i := range comp {
 		comp[i] = -1
 	}
-	queue := make([]int, 0, g.N())
+	queue := make([]int32, 0, g.N())
 	for v := 0; v < g.N(); v++ {
 		if comp[v] != -1 {
 			continue
 		}
 		comp[v] = k
-		queue = append(queue[:0], v)
+		queue = append(queue[:0], int32(v))
 		for head := 0; head < len(queue); head++ {
 			u := queue[head]
-			for _, w := range g.adj[u] {
+			for _, w := range g.adj[g.off[u]:g.off[u+1]] {
 				if comp[w] == -1 {
 					comp[w] = k
 					queue = append(queue, w)
@@ -150,11 +150,11 @@ func (g *Graph) BFSWithin(src, radius int) (nodes, dist []int) {
 		if d[v] == radius {
 			continue
 		}
-		for _, w := range g.adj[v] {
-			if _, ok := d[w]; !ok {
-				d[w] = d[v] + 1
-				nodes = append(nodes, w)
-				dist = append(dist, d[w])
+		for _, w := range g.adj[g.off[v]:g.off[v+1]] {
+			if _, ok := d[int(w)]; !ok {
+				d[int(w)] = d[v] + 1
+				nodes = append(nodes, int(w))
+				dist = append(dist, d[int(w)])
 			}
 		}
 	}
@@ -172,13 +172,13 @@ func (g *Graph) Dist(u, v int) int {
 	queue := []int{u}
 	for head := 0; head < len(queue); head++ {
 		x := queue[head]
-		for _, w := range g.adj[x] {
-			if _, ok := dist[w]; !ok {
-				dist[w] = dist[x] + 1
-				if w == v {
-					return dist[w]
+		for _, w := range g.adj[g.off[x]:g.off[x+1]] {
+			if _, ok := dist[int(w)]; !ok {
+				dist[int(w)] = dist[x] + 1
+				if int(w) == v {
+					return dist[int(w)]
 				}
-				queue = append(queue, w)
+				queue = append(queue, int(w))
 			}
 		}
 	}

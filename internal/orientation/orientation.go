@@ -139,7 +139,7 @@ func Sinkless(g *graph.Graph, src randomness.Source, maxRounds int) (*Result, er
 		for _, v := range sinks {
 			res.Retries++
 			for _, w := range g.Neighbors(v) {
-				o.Set(v, w, streams[v].Bit() == 1)
+				o.Set(v, int(w), streams[v].Bit() == 1)
 			}
 		}
 	}

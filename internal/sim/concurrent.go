@@ -12,6 +12,12 @@ import (
 // every neighbor. A small coordinator only handles start/stop and global
 // termination detection; all payload traffic flows node-to-node.
 //
+// The per-edge channels live in one flat array indexed by the graph's CSR
+// half-edge index: node v receives port p's frame on chans[off[v]+p] and
+// sends to a neighbor by addressing the reverse half-edge, chans[rev[i]] —
+// the same indexing discipline the other two engines use for their flat
+// message planes.
+//
 // Given the same Config (in particular the same randomness source seed), the
 // outputs are identical to Run's: node programs are deterministic state
 // machines and the synchronous schedule delivers the same inboxes. The test
@@ -27,13 +33,10 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 	}
 	n := st.n
 
-	// chans[v][p] is the channel on which node v receives from port p.
-	chans := make([][]chan Message, n)
-	for v := 0; v < n; v++ {
-		chans[v] = make([]chan Message, st.g.Degree(v))
-		for p := range chans[v] {
-			chans[v][p] = make(chan Message, 1)
-		}
+	// chans[off[v]+p] is the channel on which node v receives from port p.
+	chans := make([]chan Message, len(st.adjf))
+	for i := range chans {
+		chans[i] = make(chan Message, 1)
 	}
 
 	type report struct {
@@ -56,8 +59,11 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 		go func(v int) {
 			defer wg.Done()
 			prog := st.progs[v]
-			neighbors := st.g.Neighbors(v)
-			inbox := make([]Message, len(neighbors))
+			lo := st.off[v]
+			deg := int(st.off[v+1] - lo)
+			// The node's inbox window of the engine's flat message plane;
+			// only this goroutine touches it.
+			inbox := st.inbox[lo : lo+int64(deg) : lo+int64(deg)]
 			done := false
 			for r := 0; <-cont[v]; r++ {
 				var out []Message
@@ -68,13 +74,14 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 					if nodeDone {
 						done = true
 					}
-					if len(out) > len(neighbors) {
-						sendErr = fmt.Errorf("sim: node %d produced %d outbox entries for degree %d", v, len(out), len(neighbors))
+					if len(out) > deg {
+						sendErr = fmt.Errorf("sim: node %d produced %d outbox entries for degree %d", v, len(out), deg)
 					}
 				}
 				rep := report{node: v, done: done}
-				// Send exactly one frame per neighbor (nil when silent).
-				for p, w := range neighbors {
+				// Send exactly one frame per neighbor (nil when silent),
+				// addressed to the reverse half-edge's channel.
+				for p := 0; p < deg; p++ {
 					var msg Message
 					if sendErr == nil && p < len(out) {
 						msg = out[p]
@@ -90,14 +97,14 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 							rep.maxBits = msg.BitLen()
 						}
 					}
-					chans[w][st.revPort[v][p]] <- msg
+					chans[st.rev[lo+int64(p)]] <- msg
 				}
 				if sendErr != nil && rep.err == nil {
 					rep.err = sendErr
 				}
 				// Receive exactly one frame per neighbor.
-				for p := range neighbors {
-					inbox[p] = <-chans[v][p]
+				for p := 0; p < deg; p++ {
+					inbox[p] = <-chans[lo+int64(p)]
 				}
 				reports <- rep
 			}

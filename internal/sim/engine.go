@@ -80,15 +80,30 @@ type Result[T any] struct {
 	MaxMessageBits int
 }
 
+// engineState is the shared substrate of all three schedulers. The message
+// plane is flat: every per-port quantity lives in a single contiguous array
+// indexed by the graph's CSR half-edge index i = off[v] + p ("port p of
+// node v"), so a round is one linear sweep over cache-resident buffers
+// instead of n small-slice walks, and a run allocates O(1) slices instead
+// of O(n).
 type engineState[T any] struct {
-	cfg      Config
-	g        *graph.Graph
-	n        int
-	progs    []NodeProgram[T]
-	done     []bool
-	inbox    [][]Message
-	next     [][]Message
-	revPort  [][]int // revPort[v][p] = port of v in neighbor's list
+	cfg   Config
+	g     *graph.Graph
+	n     int
+	off   []int64 // CSR offsets, shared with (and owned by) the graph
+	adjf  []int32 // CSR flat neighbor array
+	rev   []int32 // CSR reverse half-edge table
+	progs []NodeProgram[T]
+	done  []bool
+	// inbox[i] is what node v received on port p this round; next[i] is
+	// what will arrive there next round. outbox is the engine-owned
+	// scratch exposed to programs as NodeCtx.Outbox, one slot per
+	// half-edge.
+	inbox  []Message
+	next   []Message
+	outbox []Message
+	ctxs   []NodeCtx
+
 	running  int
 	rounds   int
 	messages int64
@@ -102,21 +117,17 @@ func newEngineState[T any](cfg Config, factory func(v int) NodeProgram[T]) (*eng
 	}
 	n := cfg.Graph.N()
 	ids := cfg.IDs
-	if ids == nil {
-		ids = make([]uint64, n)
-		for i := range ids {
-			ids[i] = uint64(i)
+	if ids != nil {
+		if len(ids) != n {
+			return nil, fmt.Errorf("sim: %d IDs for %d nodes", len(ids), n)
 		}
-	}
-	if len(ids) != n {
-		return nil, fmt.Errorf("sim: %d IDs for %d nodes", len(ids), n)
-	}
-	seen := make(map[uint64]int, n)
-	for v, id := range ids {
-		if prev, dup := seen[id]; dup {
-			return nil, fmt.Errorf("sim: duplicate ID %d at nodes %d and %d", id, prev, v)
+		seen := make(map[uint64]int, n)
+		for v, id := range ids {
+			if prev, dup := seen[id]; dup {
+				return nil, fmt.Errorf("sim: duplicate ID %d at nodes %d and %d", id, prev, v)
+			}
+			seen[id] = v
 		}
-		seen[id] = v
 	}
 	declaredN := cfg.DeclaredN
 	if declaredN == 0 {
@@ -125,41 +136,59 @@ func newEngineState[T any](cfg Config, factory func(v int) NodeProgram[T]) (*eng
 	if declaredN < n {
 		return nil, fmt.Errorf("sim: declared size %d below true size %d", declaredN, n)
 	}
+	off, adjf, rev := cfg.Graph.CSR()
+	h := len(adjf) // 2m half-edges
 	st := &engineState[T]{
 		cfg:     cfg,
 		g:       cfg.Graph,
 		n:       n,
+		off:     off,
+		adjf:    adjf,
+		rev:     rev,
 		progs:   make([]NodeProgram[T], n),
 		done:    make([]bool, n),
-		inbox:   make([][]Message, n),
-		next:    make([][]Message, n),
-		revPort: make([][]int, n),
+		inbox:   make([]Message, h),
+		next:    make([]Message, h),
+		outbox:  make([]Message, h),
+		ctxs:    make([]NodeCtx, n),
 		running: n,
 	}
 	var shared *randomness.Shared
 	if s, ok := cfg.Source.(*randomness.Shared); ok {
 		shared = s
 	}
-	for v := 0; v < n; v++ {
-		deg := st.g.Degree(v)
-		st.inbox[v] = make([]Message, deg)
-		st.next[v] = make([]Message, deg)
-		st.revPort[v] = make([]int, deg)
-		for p, w := range st.g.Neighbors(v) {
-			st.revPort[v][p] = st.g.PortOf(w, v)
+	// Neighbor identifiers live in one flat half-edge-indexed array too;
+	// each node's view is a subslice.
+	var nids []uint64
+	if !cfg.KT0 {
+		nids = make([]uint64, h)
+		if ids == nil {
+			for i, w := range adjf {
+				nids[i] = uint64(w)
+			}
+		} else {
+			for i, w := range adjf {
+				nids[i] = ids[w]
+			}
 		}
-		ctx := &NodeCtx{
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := off[v], off[v+1]
+		id := uint64(v)
+		if ids != nil {
+			id = ids[v]
+		}
+		ctx := &st.ctxs[v]
+		*ctx = NodeCtx{
 			Index:  v,
-			ID:     ids[v],
-			Degree: deg,
+			ID:     id,
+			Degree: int(hi - lo),
 			N:      declaredN,
 			Shared: shared,
+			Outbox: st.outbox[lo:hi:hi],
 		}
 		if !cfg.KT0 {
-			ctx.NeighborIDs = make([]uint64, deg)
-			for p, w := range st.g.Neighbors(v) {
-				ctx.NeighborIDs[p] = ids[w]
-			}
+			ctx.NeighborIDs = nids[lo:hi:hi]
 		}
 		if cfg.Source != nil && cfg.Source.Has(v) {
 			ctx.Rand = cfg.Source.Stream(v)
@@ -170,13 +199,21 @@ func newEngineState[T any](cfg Config, factory func(v int) NodeProgram[T]) (*eng
 	return st, nil
 }
 
+// roundFor invokes node v's compute phase for round r against its
+// flat-inbox window.
+func (st *engineState[T]) roundFor(v, r int) ([]Message, bool) {
+	lo, hi := st.off[v], st.off[v+1]
+	return st.progs[v].Round(r, st.inbox[lo:hi:hi])
+}
+
 // step runs the compute phase for node v in round r and stages its outbox
-// into neighbors' next-round inboxes. It returns a bandwidth error if v
+// into neighbors' next-round slots. It returns a bandwidth error if v
 // violates the CONGEST bound.
 func (st *engineState[T]) step(v, r int) error {
-	out, nodeDone := st.progs[v].Round(r, st.inbox[v])
-	if len(out) > st.g.Degree(v) {
-		return fmt.Errorf("sim: node %d produced %d outbox entries for degree %d", v, len(out), st.g.Degree(v))
+	out, nodeDone := st.roundFor(v, r)
+	lo := st.off[v]
+	if deg := int(st.off[v+1] - lo); len(out) > deg {
+		return fmt.Errorf("sim: node %d produced %d outbox entries for degree %d", v, len(out), deg)
 	}
 	for p, msg := range out {
 		if msg == nil {
@@ -185,8 +222,7 @@ func (st *engineState[T]) step(v, r int) error {
 		if st.cfg.MaxMessageBits > 0 && msg.BitLen() > st.cfg.MaxMessageBits {
 			return &BandwidthError{Node: v, Round: r, Bits: msg.BitLen(), Limit: st.cfg.MaxMessageBits}
 		}
-		w := st.g.Neighbors(v)[p]
-		st.next[w][st.revPort[v][p]] = msg
+		st.next[st.rev[lo+int64(p)]] = msg
 	}
 	if nodeDone {
 		st.done[v] = true
@@ -195,21 +231,35 @@ func (st *engineState[T]) step(v, r int) error {
 	return nil
 }
 
+// deliver moves the staged half-edge window [lo, hi) from next into inbox,
+// clearing next and tallying the delivered messages. It is the single
+// linear sweep both the sequential engine (whole plane) and each parallel
+// shard (its own window) finish a round with.
+func deliver(inbox, next []Message, lo, hi int64) (msgs, bits int64, maxBits int) {
+	for i := lo; i < hi; i++ {
+		msg := next[i]
+		if msg != nil {
+			msgs++
+			b := msg.BitLen()
+			bits += int64(b)
+			if b > maxBits {
+				maxBits = b
+			}
+		}
+		inbox[i] = msg
+		next[i] = nil
+	}
+	return msgs, bits, maxBits
+}
+
 // finishRound tallies delivered messages and swaps inboxes for the next
 // round. It must run after every node's compute phase for round r.
 func (st *engineState[T]) finishRound() {
-	for v := 0; v < st.n; v++ {
-		for p, msg := range st.next[v] {
-			if msg != nil {
-				st.messages++
-				st.bits += int64(msg.BitLen())
-				if msg.BitLen() > st.maxBits {
-					st.maxBits = msg.BitLen()
-				}
-			}
-			st.inbox[v][p] = msg
-			st.next[v][p] = nil
-		}
+	msgs, bits, maxBits := deliver(st.inbox, st.next, 0, int64(len(st.next)))
+	st.messages += msgs
+	st.bits += bits
+	if maxBits > st.maxBits {
+		st.maxBits = maxBits
 	}
 	st.rounds++
 }

@@ -14,6 +14,12 @@
 // message bits identically and enforce the CONGEST bandwidth bound, so the
 // paper's round-complexity and bandwidth claims become machine-checked
 // assertions; Execute dispatches between them by Config.Scheduler.
+//
+// All three engines share one flat message plane: inboxes, staged messages
+// and the NodeCtx.Outbox scratch are single contiguous arrays indexed by
+// the graph's CSR half-edge index (see graph.Graph.CSR), so a round is a
+// linear sweep over cache-resident buffers and a run allocates O(1) slices
+// rather than O(n).
 package sim
 
 import (
@@ -52,6 +58,14 @@ type NodeCtx struct {
 	// Rand is this node's accounted private random stream, or nil when the
 	// randomness source grants this node no private bits.
 	Rand *randomness.Stream
+	// Outbox is an engine-owned scratch slice of length Degree that the
+	// program may fill and return from Round instead of allocating a fresh
+	// outbox every round. The engine consumes the returned outbox before
+	// the node's next Round call, but never clears it: a program that uses
+	// Outbox must set (or nil) every port it returns, every round, and
+	// must not mutate a payload after handing it to the engine. All nodes'
+	// Outbox windows are subslices of one flat cache-resident buffer.
+	Outbox []Message
 	// Shared is non-nil when running under the shared-randomness model and
 	// exposes the public seed (and its deterministic expansions).
 	Shared *randomness.Shared

@@ -7,18 +7,19 @@ import (
 )
 
 // stagedMsg is one message in flight between the compute and scatter phases
-// of RunParallel: the destination node, the destination port, and the
-// payload.
+// of RunParallel: the flat half-edge index of the destination slot (the
+// reverse half-edge of the sending port) and the payload.
 type stagedMsg struct {
-	dst  int
-	port int
-	msg  Message
+	idx int32
+	msg Message
 }
 
 // parallelWorker is the per-shard state of one pool worker. Each worker owns
-// the contiguous node range [lo, hi): only the owner calls those nodes'
-// Round methods, writes their done flags, and delivers into their inboxes,
-// so no field here or in engineState is ever written by two goroutines.
+// the contiguous node range [lo, hi) — and with it the contiguous half-edge
+// window off[lo]:off[hi] of the flat message plane: only the owner calls
+// those nodes' Round methods, writes their done flags, and delivers into
+// their inbox slots, so no field here or in engineState is ever written by
+// two goroutines.
 type parallelWorker struct {
 	lo, hi int
 	// outbox[s] stages the messages this worker's nodes addressed to nodes
@@ -61,9 +62,10 @@ func (w *parallelWorker) compute(st *engineStateCore, r int) {
 			continue
 		}
 		out, nodeDone := st.round(v, r)
-		if len(out) > st.g.Degree(v) {
+		lo := st.off[v]
+		if deg := int(st.off[v+1] - lo); len(out) > deg {
 			if w.err == nil {
-				w.err = fmt.Errorf("sim: node %d produced %d outbox entries for degree %d", v, len(out), st.g.Degree(v))
+				w.err = fmt.Errorf("sim: node %d produced %d outbox entries for degree %d", v, len(out), deg)
 			}
 			continue
 		}
@@ -77,9 +79,9 @@ func (w *parallelWorker) compute(st *engineStateCore, r int) {
 				}
 				break
 			}
-			dst := st.g.Neighbors(v)[p]
-			s := st.shardOf[dst]
-			w.outbox[s] = append(w.outbox[s], stagedMsg{dst: dst, port: st.revPort[v][p], msg: msg})
+			i := lo + int64(p)
+			s := st.shardOf[st.adj[i]]
+			w.outbox[s] = append(w.outbox[s], stagedMsg{idx: st.rev[i], msg: msg})
 		}
 		if nodeDone {
 			st.done[v] = true
@@ -90,46 +92,29 @@ func (w *parallelWorker) compute(st *engineStateCore, r int) {
 
 // scatter delivers every message addressed to this shard — gathered from all
 // workers' outboxes — into the shard's next-round slots, then tallies and
-// swaps inbox/next exactly as finishRound does for the whole network.
+// swaps the shard's flat inbox/next window exactly as finishRound does for
+// the whole network.
 func (w *parallelWorker) scatter(st *engineStateCore, self int, workers []*parallelWorker) {
 	for _, src := range workers {
 		for _, sm := range src.outbox[self] {
-			st.next[sm.dst][sm.port] = sm.msg
+			st.next[sm.idx] = sm.msg
 		}
 	}
-	for v := w.lo; v < w.hi; v++ {
-		inbox, next := st.inbox[v], st.next[v]
-		for p, msg := range next {
-			if msg != nil {
-				w.msgs++
-				w.bits += int64(msg.BitLen())
-				if msg.BitLen() > w.maxBits {
-					w.maxBits = msg.BitLen()
-				}
-			}
-			inbox[p] = msg
-			next[p] = nil
-		}
-	}
+	w.msgs, w.bits, w.maxBits = deliver(st.inbox, st.next, st.off[w.lo], st.off[w.hi])
 }
 
 // engineStateCore is the type-independent slice of engineState the workers
 // need; keeping it non-generic lets the phase methods live on plain structs.
 type engineStateCore struct {
-	g              graphView
+	off            []int64 // CSR offsets
+	adj            []int32 // CSR flat neighbor array
+	rev            []int32 // CSR reverse half-edge table
 	done           []bool
-	inbox          [][]Message
-	next           [][]Message
-	revPort        [][]int
+	inbox          []Message // flat half-edge-indexed message plane
+	next           []Message
 	shardOf        []int32
 	maxMessageBits int
 	round          func(v, r int) ([]Message, bool)
-}
-
-// graphView is the small read-only graph surface the workers touch.
-type graphView interface {
-	Degree(v int) int
-	Neighbors(v int) []int
 }
 
 // RunParallel executes the network with a sharded worker-pool engine: nodes
@@ -139,10 +124,13 @@ type graphView interface {
 // every worker runs its own shard's node programs against the current
 // inboxes and stages outgoing messages into a per-destination-shard outbox;
 // in the scatter phase every worker delivers the messages addressed to its
-// shard into the engine's double-buffered inbox/next arrays and tallies the
-// delivery counters. No per-node goroutines and no per-edge channels are
-// allocated, so the engine scales to million-node graphs where
-// RunConcurrent's goroutine-per-node synchronizer collapses.
+// shard into the engine's flat double-buffered inbox/next arrays and tallies
+// the delivery counters. Because shards are contiguous node ranges, each
+// worker's slice of the flat message plane is a contiguous half-edge window:
+// the scatter sweep is sequential cache-line traffic, and no per-node
+// goroutines or per-edge channels are allocated, so the engine scales to
+// million-node graphs where RunConcurrent's goroutine-per-node synchronizer
+// collapses.
 //
 // Every mutable location has a single writer (the shard owner), phases are
 // separated by barriers, and counters merge over order-independent sums and
@@ -178,14 +166,15 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 		}
 	}
 	core := &engineStateCore{
-		g:              st.g,
+		off:            st.off,
+		adj:            st.adjf,
+		rev:            st.rev,
 		done:           st.done,
 		inbox:          st.inbox,
 		next:           st.next,
-		revPort:        st.revPort,
 		shardOf:        shardOf,
 		maxMessageBits: cfg.MaxMessageBits,
-		round:          func(v, r int) ([]Message, bool) { return st.progs[v].Round(r, st.inbox[v]) },
+		round:          st.roundFor,
 	}
 
 	cmds := make([]chan phaseCmd, workers)

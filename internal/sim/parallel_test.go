@@ -136,6 +136,80 @@ func TestSchedulerEquivalence(t *testing.T) {
 	}
 }
 
+// outboxFlood is randFlood rebuilt on the engine-owned NodeCtx.Outbox
+// scratch: it assembles every round's outbox in place instead of
+// allocating. Running it through the equivalence harness proves the flat
+// outbox windows never leak messages across nodes or rounds on any
+// scheduler.
+type outboxFlood struct {
+	rounds int
+	ctx    *NodeCtx
+	best   uint64
+}
+
+func (f *outboxFlood) Init(ctx *NodeCtx) {
+	f.ctx = ctx
+	f.best = ctx.ID<<16 | 0xbeef
+}
+
+func (f *outboxFlood) Round(r int, inbox []Message) ([]Message, bool) {
+	for _, m := range inbox {
+		if m == nil {
+			continue
+		}
+		if x, _, ok := ReadUint(m); ok && x < f.best {
+			f.best = x
+		}
+	}
+	if r >= f.rounds+int(f.ctx.ID%3) {
+		return nil, true
+	}
+	out := f.ctx.Outbox
+	payload := Uints(f.best)
+	for p := range out {
+		out[p] = payload
+		if (r+p)%5 == 0 {
+			out[p] = nil // exercise stale-slot clearing on reused buffers
+		}
+	}
+	return out, false
+}
+
+func (f *outboxFlood) Output() uint64 { return f.best }
+
+// TestSchedulerEquivalenceWithCtxOutbox runs the zero-allocation outbox
+// program on every scheduler and demands identical Results, including the
+// message and bit accounting that would drift if a reused outbox slot or a
+// shared payload were delivered twice.
+func TestSchedulerEquivalenceWithCtxOutbox(t *testing.T) {
+	rng := prng.New(77)
+	for _, g := range []*graph.Graph{
+		graph.GNPConnected(140, 0.05, rng),
+		graph.Grid2D(9, 13, true),
+	} {
+		n := g.N()
+		ids := RandomIDs(n, n, prng.New(uint64(n)))
+		cfg := Config{Graph: g, IDs: ids, MaxMessageBits: CongestBits(n)}
+		factory := func(int) NodeProgram[uint64] { return &outboxFlood{rounds: graph.Diameter(g) + 1} }
+		want, err := Run(cfg, factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunConcurrent(cfg, factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertResultsEqual(t, "concurrent", want, got)
+		for _, workers := range []int{2, 5, n} {
+			got, err := RunParallel(cfg, factory, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertResultsEqual(t, fmt.Sprintf("parallel/workers=%d", workers), want, got)
+		}
+	}
+}
+
 // TestRunParallelSmallNetworks exercises the engine where shards are thinner
 // than the pool: the -race runs in CI hammer these paths.
 func TestRunParallelSmallNetworks(t *testing.T) {

@@ -140,7 +140,7 @@ func GreedyMIS() Algorithm[bool] {
 		Radius: 1,
 		Process: func(g *graph.Graph, v int, state func(int) (bool, bool)) bool {
 			for _, w := range g.Neighbors(v) {
-				if in, ok := state(w); ok && in {
+				if in, ok := state(int(w)); ok && in {
 					return false
 				}
 			}
@@ -157,7 +157,7 @@ func GreedyColoring() Algorithm[int] {
 		Process: func(g *graph.Graph, v int, state func(int) (int, bool)) int {
 			used := map[int]bool{}
 			for _, w := range g.Neighbors(v) {
-				if c, ok := state(w); ok {
+				if c, ok := state(int(w)); ok {
 					used[c] = true
 				}
 			}

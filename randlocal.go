@@ -64,6 +64,7 @@ var (
 	Ring          = graph.Ring
 	Path          = graph.Path
 	Grid          = graph.Grid
+	Grid2D        = graph.Grid2D
 	Torus         = graph.Torus
 	Complete      = graph.Complete
 	Star          = graph.Star
