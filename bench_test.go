@@ -12,6 +12,7 @@ package randlocal
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"testing"
 )
@@ -297,8 +298,9 @@ func BenchmarkE10Sinkless(b *testing.B) {
 // benchFlood is the fixed-round flooding program the engine-scaling
 // benchmarks run: pure messaging load with no randomness, so the timings
 // isolate scheduler overhead. It assembles its outbox in the engine-owned
-// NodeCtx.Outbox scratch (a window of the engine's flat message plane), so
-// the only per-round allocation left is the payload itself.
+// NodeCtx.Outbox scratch (a window of the engine's flat message plane) and
+// carves payloads from the per-round arena (NodeCtx.Uints), so steady-state
+// rounds allocate nothing at all.
 type benchFlood struct {
 	rounds int
 	ctx    *NodeCtx
@@ -320,7 +322,7 @@ func (f *benchFlood) Round(r int, inbox []Message) ([]Message, bool) {
 		return nil, true
 	}
 	out := f.ctx.Outbox
-	payload := Uints(f.best)
+	payload := f.ctx.Uints(f.best)
 	for p := range out {
 		out[p] = payload
 	}
@@ -343,6 +345,67 @@ func BenchmarkRun(b *testing.B) {
 			g := benchEngineGraph(n)
 			cfg := SimConfig{Graph: g, MaxMessageBits: CongestBits(n)}
 			factory := func(int) NodeProgram[uint64] { return &benchFlood{rounds: benchFloodRounds} }
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg, factory)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Messages), "msgs")
+			}
+		})
+	}
+}
+
+// staggeredBench is the late-round-dominated workload of the shattering
+// analyses: node v halts after 4·trailingZeros(ID+1) rounds, so half the
+// network halts in round 0, a quarter four rounds later, and a single node
+// survives past round 4·log₂ n. Total compute work is O(n), but an engine
+// that sweeps all n done flags (and the whole message plane) every round
+// pays O(n log n).
+type staggeredBench struct {
+	ctx  *NodeCtx
+	halt int
+	best uint64
+}
+
+func (f *staggeredBench) Init(ctx *NodeCtx) {
+	f.ctx = ctx
+	f.best = ctx.ID
+	f.halt = 4 * bits.TrailingZeros64(ctx.ID+1)
+}
+
+func (f *staggeredBench) Round(r int, inbox []Message) ([]Message, bool) {
+	for _, m := range inbox {
+		if m == nil {
+			continue
+		}
+		if x, _, ok := ReadUint(m); ok && x < f.best {
+			f.best = x
+		}
+	}
+	if r >= f.halt {
+		return nil, true
+	}
+	out := f.ctx.Outbox
+	payload := f.ctx.Uints(f.best)
+	for p := range out {
+		out[p] = payload
+	}
+	return out, false
+}
+
+func (f *staggeredBench) Output() uint64 { return f.best }
+
+// BenchmarkRunStaggered measures the staggered-termination workload on the
+// sequential engine — the case the active-node worklist targets: late rounds
+// must cost O(active), not O(n).
+func BenchmarkRunStaggered(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 20} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := benchEngineGraph(n)
+			cfg := SimConfig{Graph: g, MaxMessageBits: CongestBits(n)}
+			factory := func(int) NodeProgram[uint64] { return &staggeredBench{} }
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := Run(cfg, factory)

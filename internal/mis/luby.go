@@ -80,12 +80,17 @@ func (p *lubyProgram) drawPriority(phase int) uint64 {
 	return p.ctx.Rand.Bits(p.cfg.PriorityBits)
 }
 
-// broadcastActive sends payload on every still-active port.
+// broadcastActive sends payload on every still-active port. The outbox is
+// assembled in the engine-owned NodeCtx.Outbox scratch — every slot set or
+// nilled each call, as its contract requires — so a phase costs no outbox
+// allocation.
 func (p *lubyProgram) broadcastActive(payload sim.Message) []sim.Message {
-	out := make([]sim.Message, p.ctx.Degree)
+	out := p.ctx.Outbox
 	for i, active := range p.activePort {
 		if active {
 			out[i] = payload
+		} else {
+			out[i] = nil
 		}
 	}
 	return out
@@ -126,10 +131,10 @@ func (p *lubyProgram) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
 		if p.absorb(inbox) {
 			// A neighbor joined at the very end of the last phase.
 			p.decided = true
-			return p.broadcastActive(sim.Uints(msgOut)), true
+			return p.broadcastActive(p.ctx.Uints(msgOut)), true
 		}
 		p.priority = p.drawPriority(phase)
-		return p.broadcastActive(sim.Uints(msgPriority, p.priority)), false
+		return p.broadcastActive(p.ctx.Uints(msgPriority, p.priority)), false
 	case 1:
 		// Compare against active neighbors' priorities.
 		win := true
@@ -150,13 +155,13 @@ func (p *lubyProgram) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
 		if win {
 			p.inMIS = true
 			p.decided = true
-			return p.broadcastActive(sim.Uints(msgIn)), true
+			return p.broadcastActive(p.ctx.Uints(msgIn)), true
 		}
 		return nil, false
 	default: // t == 2: process IN announcements
 		if p.absorb(inbox) {
 			p.decided = true
-			return p.broadcastActive(sim.Uints(msgOut)), true
+			return p.broadcastActive(p.ctx.Uints(msgOut)), true
 		}
 		return nil, false
 	}

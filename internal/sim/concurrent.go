@@ -18,6 +18,14 @@ import (
 // the same indexing discipline the other two engines use for their flat
 // message planes.
 //
+// Halted nodes leave the synchronizer entirely: a node's goroutine exits in
+// the round it reports done, the coordinator drops it from the active
+// worklist, and from the next round on its neighbors skip both the send and
+// the receive on the shared edges (reading the halted flag is safe — the
+// coordinator updates it only between rounds, and the per-round start
+// signals establish the ordering). Late rounds therefore cost O(active
+// nodes + their edges), not O(n + m), matching the other two engines.
+//
 // Given the same Config (in particular the same randomness source seed), the
 // outputs are identical to Run's: node programs are deterministic state
 // machines and the synchronous schedule delivers the same inboxes. The test
@@ -27,11 +35,14 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 	if err != nil {
 		return nil, err
 	}
-	maxRounds := cfg.MaxRounds
-	if maxRounds == 0 {
-		maxRounds = DefaultMaxRounds
-	}
+	maxRounds := st.maxRounds()
 	n := st.n
+
+	// Every node gets its own payload arena: compute phases overlap across
+	// nodes, so the shared engine arena cannot be carved concurrently.
+	for v := 0; v < n; v++ {
+		st.ctxs[v].arena = &arena{}
+	}
 
 	// chans[off[v]+p] is the channel on which node v receives from port p.
 	chans := make([]chan Message, len(st.adjf))
@@ -59,28 +70,31 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 		go func(v int) {
 			defer wg.Done()
 			prog := st.progs[v]
+			a := st.ctxs[v].arena
 			lo := st.off[v]
 			deg := int(st.off[v+1] - lo)
+			row := st.adjf[lo : lo+int64(deg)]
 			// The node's inbox window of the engine's flat message plane;
 			// only this goroutine touches it.
 			inbox := st.inbox[lo : lo+int64(deg) : lo+int64(deg)]
-			done := false
 			for r := 0; <-cont[v]; r++ {
-				var out []Message
-				var sendErr error
-				if !done {
-					var nodeDone bool
-					out, nodeDone = prog.Round(r, inbox)
-					if nodeDone {
-						done = true
-					}
-					if len(out) > deg {
-						sendErr = fmt.Errorf("sim: node %d produced %d outbox entries for degree %d", v, len(out), deg)
-					}
+				if r > 0 {
+					// Not before round 0: Init carves share round 0's buffer.
+					a.rotate()
 				}
-				rep := report{node: v, done: done}
-				// Send exactly one frame per neighbor (nil when silent),
-				// addressed to the reverse half-edge's channel.
+				out, nodeDone := prog.Round(r, inbox)
+				var sendErr error
+				if len(out) > deg {
+					sendErr = fmt.Errorf("sim: node %d produced %d outbox entries for degree %d", v, len(out), deg)
+				}
+				rep := report{node: v, done: nodeDone}
+				// Send exactly one frame per live neighbor (nil when
+				// silent), addressed to the reverse half-edge's channel.
+				// Frames for halted neighbors are skipped — they would never
+				// be read — but their accounting (a halted destination still
+				// counts as a delivery, as in the other engines) and the
+				// bandwidth check are unaffected, because a halted node
+				// stopped sending, not receiving, under the model.
 				for p := 0; p < deg; p++ {
 					var msg Message
 					if sendErr == nil && p < len(out) {
@@ -97,40 +111,52 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 							rep.maxBits = msg.BitLen()
 						}
 					}
-					chans[st.rev[lo+int64(p)]] <- msg
+					if !st.done[row[p]] {
+						chans[st.rev[lo+int64(p)]] <- msg
+					}
 				}
 				if sendErr != nil && rep.err == nil {
 					rep.err = sendErr
 				}
-				// Receive exactly one frame per neighbor.
+				// Receive exactly one frame per live neighbor; a halted
+				// neighbor sends nothing, exactly as a nil frame would say.
 				for p := 0; p < deg; p++ {
+					if st.done[row[p]] {
+						inbox[p] = nil
+						continue
+					}
 					inbox[p] = <-chans[lo+int64(p)]
 				}
 				reports <- rep
+				if nodeDone {
+					return
+				}
 			}
 		}(v)
 	}
 
+	// stop releases the node goroutines still parked on their start signal;
+	// halted nodes have already exited on their own.
 	stop := func() {
-		for v := 0; v < n; v++ {
+		for _, v := range st.active {
 			cont[v] <- false
 		}
 		wg.Wait()
 	}
 
 	var firstErr error
-	running := n
-	for r := 0; ; r++ {
+	doneNow := make([]int32, 0, 16)
+	for r := 0; len(st.active) > 0; r++ {
 		if r >= maxRounds {
 			stop()
-			return nil, &StuckError{MaxRounds: maxRounds, Running: running}
+			return nil, &StuckError{MaxRounds: maxRounds, Running: len(st.active)}
 		}
-		for v := 0; v < n; v++ {
+		st.activeTrace = append(st.activeTrace, len(st.active))
+		for _, v := range st.active {
 			cont[v] <- true
 		}
-		allDone := true
-		running = 0
-		for i := 0; i < n; i++ {
+		doneNow = doneNow[:0]
+		for i := 0; i < len(st.active); i++ {
 			rep := <-reports
 			st.messages += rep.msgs
 			st.bits += rep.bits
@@ -140,18 +166,27 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 			if rep.err != nil && firstErr == nil {
 				firstErr = rep.err
 			}
-			if !rep.done {
-				allDone = false
-				running++
+			if rep.done {
+				doneNow = append(doneNow, int32(rep.node))
 			}
 		}
+		// Only now — after every active node finished the round — may the
+		// halted flags flip: mid-round, neighbors still exchange frames with
+		// a node that is about to report done.
+		for _, v := range doneNow {
+			st.done[v] = true
+		}
+		live := st.active[:0]
+		for _, v := range st.active {
+			if !st.done[v] {
+				live = append(live, v)
+			}
+		}
+		st.active = live
 		st.rounds++
 		if firstErr != nil {
 			stop()
 			return nil, firstErr
-		}
-		if allDone {
-			break
 		}
 	}
 	stop()

@@ -72,6 +72,12 @@ type Result[T any] struct {
 	// that node halted. A network whose every node halts in its first
 	// Round call reports Rounds == 1 even if no message was ever sent.
 	Rounds int
+	// ActivePerRound[r] is the number of nodes whose Round method the
+	// engine invoked in round r (a node halting in round r still counts as
+	// active in r). Its length equals Rounds, and it is identical across
+	// schedulers — the live-fringe trajectory the shattering analyses
+	// reason about.
+	ActivePerRound []int
 	// Messages counts non-nil messages delivered.
 	Messages int64
 	// BitsTotal is the total size of all delivered messages, in bits.
@@ -85,7 +91,8 @@ type Result[T any] struct {
 // indexed by the graph's CSR half-edge index i = off[v] + p ("port p of
 // node v"), so a round is one linear sweep over cache-resident buffers
 // instead of n small-slice walks, and a run allocates O(1) slices instead
-// of O(n).
+// of O(n). The round loop runs off the active worklist and delivery off
+// staged slot lists, so round cost tracks the live fringe, not n.
 type engineState[T any] struct {
 	cfg   Config
 	g     *graph.Graph
@@ -94,21 +101,38 @@ type engineState[T any] struct {
 	adjf  []int32 // CSR flat neighbor array
 	rev   []int32 // CSR reverse half-edge table
 	progs []NodeProgram[T]
-	done  []bool
+	// active is the compact worklist of live nodes, in ascending index
+	// order; done is its membership bitmap (done[v] ⇔ v is not on the
+	// worklist). The round loop iterates active and compacts it in place as
+	// nodes halt, so a round costs O(active), not O(n).
+	active []int32
+	done   []bool
 	// inbox[i] is what node v received on port p this round; next[i] is
 	// what will arrive there next round. outbox is the engine-owned
 	// scratch exposed to programs as NodeCtx.Outbox, one slot per
-	// half-edge.
+	// half-edge. Only the sequential round loop double-buffers, so next is
+	// allocated lazily by runSequential; RunParallel scatters straight into
+	// inbox and RunConcurrent delivers through channels.
 	inbox  []Message
 	next   []Message
 	outbox []Message
-	ctxs   []NodeCtx
+	// staged lists the flat slots written into next this round, and
+	// inboxSlots the slots currently non-nil in inbox: delivery touches
+	// exactly those slots instead of sweeping all 2m, so it costs
+	// O(messages), not O(m). Used by the sequential engine; RunParallel
+	// keeps the same pair per worker and RunConcurrent delivers through
+	// channels.
+	staged     []int32
+	inboxSlots []int32
+	arena      *arena
+	ctxs       []NodeCtx
 
-	running  int
-	rounds   int
-	messages int64
-	bits     int64
-	maxBits  int
+	running     int
+	rounds      int
+	activeTrace []int
+	messages    int64
+	bits        int64
+	maxBits     int
 }
 
 func newEngineState[T any](cfg Config, factory func(v int) NodeProgram[T]) (*engineState[T], error) {
@@ -146,12 +170,16 @@ func newEngineState[T any](cfg Config, factory func(v int) NodeProgram[T]) (*eng
 		adjf:    adjf,
 		rev:     rev,
 		progs:   make([]NodeProgram[T], n),
+		active:  make([]int32, n),
 		done:    make([]bool, n),
 		inbox:   make([]Message, h),
-		next:    make([]Message, h),
 		outbox:  make([]Message, h),
+		arena:   &arena{},
 		ctxs:    make([]NodeCtx, n),
 		running: n,
+	}
+	for v := range st.active {
+		st.active[v] = int32(v)
 	}
 	var shared *randomness.Shared
 	if s, ok := cfg.Source.(*randomness.Shared); ok {
@@ -186,6 +214,7 @@ func newEngineState[T any](cfg Config, factory func(v int) NodeProgram[T]) (*eng
 			N:      declaredN,
 			Shared: shared,
 			Outbox: st.outbox[lo:hi:hi],
+			arena:  st.arena,
 		}
 		if !cfg.KT0 {
 			ctx.NeighborIDs = nids[lo:hi:hi]
@@ -207,8 +236,9 @@ func (st *engineState[T]) roundFor(v, r int) ([]Message, bool) {
 }
 
 // step runs the compute phase for node v in round r and stages its outbox
-// into neighbors' next-round slots. It returns a bandwidth error if v
-// violates the CONGEST bound.
+// into neighbors' next-round slots, recording each staged slot and tallying
+// the message as it goes. It returns a bandwidth error if v violates the
+// CONGEST bound.
 func (st *engineState[T]) step(v, r int) error {
 	out, nodeDone := st.roundFor(v, r)
 	lo := st.off[v]
@@ -219,10 +249,21 @@ func (st *engineState[T]) step(v, r int) error {
 		if msg == nil {
 			continue
 		}
-		if st.cfg.MaxMessageBits > 0 && msg.BitLen() > st.cfg.MaxMessageBits {
-			return &BandwidthError{Node: v, Round: r, Bits: msg.BitLen(), Limit: st.cfg.MaxMessageBits}
+		b := msg.BitLen()
+		if st.cfg.MaxMessageBits > 0 && b > st.cfg.MaxMessageBits {
+			return &BandwidthError{Node: v, Round: r, Bits: b, Limit: st.cfg.MaxMessageBits}
 		}
-		st.next[st.rev[lo+int64(p)]] = msg
+		i := st.rev[lo+int64(p)]
+		st.next[i] = msg
+		st.staged = append(st.staged, i)
+		// Tally at stage time, while the header is hot: a staged message is
+		// delivered unconditionally next round (or the run aborts and the
+		// counters are never read), so this matches delivery-time tallying.
+		st.messages++
+		st.bits += int64(b)
+		if b > st.maxBits {
+			st.maxBits = b
+		}
 	}
 	if nodeDone {
 		st.done[v] = true
@@ -231,36 +272,29 @@ func (st *engineState[T]) step(v, r int) error {
 	return nil
 }
 
-// deliver moves the staged half-edge window [lo, hi) from next into inbox,
-// clearing next and tallying the delivered messages. It is the single
-// linear sweep both the sequential engine (whole plane) and each parallel
-// shard (its own window) finish a round with.
-func deliver(inbox, next []Message, lo, hi int64) (msgs, bits int64, maxBits int) {
-	for i := lo; i < hi; i++ {
-		msg := next[i]
-		if msg != nil {
-			msgs++
-			b := msg.BitLen()
-			bits += int64(b)
-			if b > maxBits {
-				maxBits = b
-			}
-		}
-		inbox[i] = msg
-		next[i] = nil
-	}
-	return msgs, bits, maxBits
-}
-
-// finishRound tallies delivered messages and swaps inboxes for the next
-// round. It must run after every node's compute phase for round r.
+// finishRound makes the round's staged messages the next round's inboxes.
+// Each slot is staged at most once per round (one sender per reverse
+// half-edge) and accounting happened at stage time, so delivery is pure data
+// movement; which strategy runs is a locality decision. A dense round —
+// staged slots a sizable fraction of the plane — swaps the inbox and next
+// planes outright and memclrs the new next (which holds only last round's
+// now-dead inboxes). A sparse round walks the staged slot list (after
+// clearing last round's inbox slots individually), so a late round with a
+// tiny live fringe costs O(messages), not O(m).
 func (st *engineState[T]) finishRound() {
-	msgs, bits, maxBits := deliver(st.inbox, st.next, 0, int64(len(st.next)))
-	st.messages += msgs
-	st.bits += bits
-	if maxBits > st.maxBits {
-		st.maxBits = maxBits
+	if 8*len(st.staged) >= len(st.next) {
+		st.inbox, st.next = st.next, st.inbox
+		clear(st.next)
+	} else {
+		for _, i := range st.inboxSlots {
+			st.inbox[i] = nil
+		}
+		for _, i := range st.staged {
+			st.inbox[i] = st.next[i]
+			st.next[i] = nil
+		}
 	}
+	st.inboxSlots, st.staged = st.staged, st.inboxSlots[:0]
 	st.rounds++
 }
 
@@ -272,6 +306,7 @@ func (st *engineState[T]) result() *Result[T] {
 	return &Result[T]{
 		Outputs:        outputs,
 		Rounds:         st.rounds,
+		ActivePerRound: st.activeTrace,
 		Messages:       st.messages,
 		BitsTotal:      st.bits,
 		MaxMessageBits: st.maxBits,
@@ -299,20 +334,33 @@ func (st *engineState[T]) maxRounds() int {
 }
 
 // runSequential is the round loop shared by Run and the degenerate
-// single-worker case of RunParallel.
+// single-worker case of RunParallel. It iterates the active worklist —
+// compacting it in place as nodes halt — so a late round with a small live
+// fringe costs O(active + messages) rather than O(n + m).
 func (st *engineState[T]) runSequential(maxRounds int) (*Result[T], error) {
-	for r := 0; st.running > 0; r++ {
+	if st.next == nil {
+		st.next = make([]Message, len(st.inbox))
+	}
+	for r := 0; len(st.active) > 0; r++ {
 		if r >= maxRounds {
 			return nil, &StuckError{MaxRounds: maxRounds, Running: st.running}
 		}
-		for v := 0; v < st.n; v++ {
-			if st.done[v] {
-				continue
-			}
-			if err := st.step(v, r); err != nil {
+		st.activeTrace = append(st.activeTrace, len(st.active))
+		if r > 0 {
+			// No rotation before round 0: payloads carved during Init share
+			// the first buffer with round 0's and live just as long.
+			st.arena.rotate()
+		}
+		live := st.active[:0]
+		for _, v := range st.active {
+			if err := st.step(int(v), r); err != nil {
 				return nil, err
 			}
+			if !st.done[v] {
+				live = append(live, v)
+			}
 		}
+		st.active = live
 		st.finishRound()
 	}
 	return st.result(), nil

@@ -19,7 +19,13 @@
 // and the NodeCtx.Outbox scratch are single contiguous arrays indexed by
 // the graph's CSR half-edge index (see graph.Graph.CSR), so a round is a
 // linear sweep over cache-resident buffers and a run allocates O(1) slices
-// rather than O(n).
+// rather than O(n). On top of it, every engine drives its round loop off a
+// compact worklist of live nodes and delivers through staged slot lists, so
+// a late round with a small surviving fringe — the common tail of the
+// shattering-style algorithms under study — costs O(active + messages)
+// rather than O(n + m); and message payloads can be carved from per-round
+// bump arenas (NodeCtx.Uints / NodeCtx.Alloc), removing the last
+// O(messages) allocation class.
 package sim
 
 import (
@@ -69,6 +75,38 @@ type NodeCtx struct {
 	// Shared is non-nil when running under the shared-randomness model and
 	// exposes the public seed (and its deterministic expansions).
 	Shared *randomness.Shared
+	// arena is the per-round payload arena this node carves Uints/Alloc
+	// payloads from. The engines wire it before Init: the sequential engine
+	// shares one arena across all nodes, RunParallel uses one per worker
+	// shard, and RunConcurrent one per node — in every case it has a single
+	// writer. nil (a hand-built NodeCtx outside an engine) falls back to
+	// plain heap allocation.
+	arena *arena
+}
+
+// Uints encodes xs as a single varint payload carved from the engine's
+// per-round message arena — the allocation-free counterpart of the
+// package-level Uints. The payload is valid until the receiver's Round call
+// returns; see the retention rule on NodeProgram. A payload carved during
+// Init has round 0's lifetime: it may be returned from Round(0) and is read
+// safely by receivers in round 1.
+func (c *NodeCtx) Uints(xs ...uint64) Message {
+	if c.arena == nil || len(xs) == 0 {
+		// Uints(nil...) is nil — "send nothing" — and the arena must agree,
+		// not hand out a non-nil empty payload the engine would deliver.
+		return Uints(xs...)
+	}
+	return c.arena.uints(xs)
+}
+
+// Alloc returns a zeroed n-byte payload carved from the engine's per-round
+// message arena, for programs that assemble payloads with AppendUint-style
+// encoders or raw bytes. The same lifetime rule as Uints applies.
+func (c *NodeCtx) Alloc(n int) Message {
+	if c.arena == nil {
+		return make(Message, n)
+	}
+	return c.arena.alloc(n)
 }
 
 // NodeProgram is a state machine run at one node. Init is called once before
@@ -78,6 +116,13 @@ type NodeCtx struct {
 // short outbox is treated as nil-padded) and whether it has terminated.
 // After a program reports done, Round is never called again and neighbors
 // receive nothing from it. Output is read once the whole network has halted.
+//
+// Retention rule: an inbox payload (or any subslice of it) is valid only
+// until the Round call it arrived in returns. Senders may carve payloads
+// from the engine's per-round arena (NodeCtx.Uints, NodeCtx.Alloc), whose
+// backing memory is recycled two rounds after the carve — exactly one round
+// after delivery. A program that needs a received value beyond its round
+// must copy the decoded value, never keep the Message.
 type NodeProgram[T any] interface {
 	Init(ctx *NodeCtx)
 	Round(r int, inbox []Message) (outbox []Message, done bool)

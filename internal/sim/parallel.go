@@ -22,10 +22,23 @@ type stagedMsg struct {
 // two goroutines.
 type parallelWorker struct {
 	lo, hi int
+	// active is the shard's compact worklist of live nodes in ascending
+	// order, compacted in place as nodes halt; activeN snapshots its length
+	// at the top of each compute phase for the Result's ActivePerRound.
+	active  []int32
+	activeN int
+	// arena is the shard's per-round payload arena (see arena.go); it is
+	// rotated at the top of each compute phase, which recycles the buffer
+	// whose payloads were read in the previous round.
+	arena *arena
 	// outbox[s] stages the messages this worker's nodes addressed to nodes
 	// of shard s during the compute phase; shard s applies them during the
 	// scatter phase. Reused (truncated, not freed) across rounds.
 	outbox [][]stagedMsg
+	// inboxSlots lists the slots of this shard's inbox window that are
+	// currently non-nil, so the scatter phase clears and refills exactly
+	// the touched slots instead of sweeping the whole window.
+	inboxSlots []int32
 	// Per-round partial counters, merged by the coordinator in worker order
 	// after the scatter barrier. Sums and max are order-independent, so the
 	// merged totals equal the sequential scheduler's exactly.
@@ -49,58 +62,83 @@ type phaseCmd struct {
 	round int
 }
 
-// compute runs the compute half of round r for every live node of the shard,
-// staging outgoing messages into per-destination-shard outboxes.
+// compute runs the compute half of round r for every node on the shard's
+// worklist, staging outgoing messages into per-destination-shard outboxes
+// and compacting the worklist as nodes halt.
 func (w *parallelWorker) compute(st *engineStateCore, r int) {
 	w.msgs, w.bits, w.maxBits, w.halted = 0, 0, 0, 0
 	w.err = nil
+	if r > 0 {
+		// Not before round 0: Init-time carves (which land in the engine
+		// arena, wired before the shards override it) and round-0 carves
+		// must both survive into round 1.
+		w.arena.rotate()
+	}
 	for s := range w.outbox {
 		w.outbox[s] = w.outbox[s][:0]
 	}
-	for v := w.lo; v < w.hi; v++ {
-		if st.done[v] {
-			continue
-		}
+	w.activeN = len(w.active)
+	live := w.active[:0]
+	for _, v32 := range w.active {
+		v := int(v32)
 		out, nodeDone := st.round(v, r)
 		lo := st.off[v]
 		if deg := int(st.off[v+1] - lo); len(out) > deg {
 			if w.err == nil {
 				w.err = fmt.Errorf("sim: node %d produced %d outbox entries for degree %d", v, len(out), deg)
 			}
+			live = append(live, v32)
 			continue
 		}
 		for p, msg := range out {
 			if msg == nil {
 				continue
 			}
-			if st.maxMessageBits > 0 && msg.BitLen() > st.maxMessageBits {
+			b := msg.BitLen()
+			if st.maxMessageBits > 0 && b > st.maxMessageBits {
 				if w.err == nil {
-					w.err = &BandwidthError{Node: v, Round: r, Bits: msg.BitLen(), Limit: st.maxMessageBits}
+					w.err = &BandwidthError{Node: v, Round: r, Bits: b, Limit: st.maxMessageBits}
 				}
 				break
 			}
 			i := lo + int64(p)
 			s := st.shardOf[st.adj[i]]
 			w.outbox[s] = append(w.outbox[s], stagedMsg{idx: st.rev[i], msg: msg})
+			// Tally at stage time, while the header is hot: the counters
+			// merge order-independently across workers, so totals match the
+			// sequential engine whether tallied by sender or by receiver.
+			w.msgs++
+			w.bits += int64(b)
+			if b > w.maxBits {
+				w.maxBits = b
+			}
 		}
 		if nodeDone {
 			st.done[v] = true
 			w.halted++
+		} else {
+			live = append(live, v32)
 		}
 	}
+	w.active = live
 }
 
 // scatter delivers every message addressed to this shard — gathered from all
-// workers' outboxes — into the shard's next-round slots, then tallies and
-// swaps the shard's flat inbox/next window exactly as finishRound does for
-// the whole network.
+// workers' outboxes — straight into the shard's inbox window, after clearing
+// the slots the previous round delivered into. Accounting happened at stage
+// time, so the phase is pure data movement, and the staged slot lists make
+// it O(messages touching the shard), not O(half-edges of the shard).
 func (w *parallelWorker) scatter(st *engineStateCore, self int, workers []*parallelWorker) {
+	for _, i := range w.inboxSlots {
+		st.inbox[i] = nil
+	}
+	w.inboxSlots = w.inboxSlots[:0]
 	for _, src := range workers {
 		for _, sm := range src.outbox[self] {
-			st.next[sm.idx] = sm.msg
+			st.inbox[sm.idx] = sm.msg
+			w.inboxSlots = append(w.inboxSlots, sm.idx)
 		}
 	}
-	w.msgs, w.bits, w.maxBits = deliver(st.inbox, st.next, st.off[w.lo], st.off[w.hi])
 }
 
 // engineStateCore is the type-independent slice of engineState the workers
@@ -111,33 +149,35 @@ type engineStateCore struct {
 	rev            []int32 // CSR reverse half-edge table
 	done           []bool
 	inbox          []Message // flat half-edge-indexed message plane
-	next           []Message
 	shardOf        []int32
 	maxMessageBits int
 	round          func(v, r int) ([]Message, bool)
 }
 
 // RunParallel executes the network with a sharded worker-pool engine: nodes
-// are partitioned into `workers` contiguous shards, and a fixed pool of
+// are partitioned into `workers` contiguous shards of near-equal half-edge
+// count (graph.ShardBounds — equal node counts would let one hub-heavy shard
+// of a power-law graph dominate every barrier), and a fixed pool of
 // `workers` goroutines (default runtime.GOMAXPROCS(0) when workers <= 0)
 // drives each round in two barrier-separated phases. In the compute phase
-// every worker runs its own shard's node programs against the current
-// inboxes and stages outgoing messages into a per-destination-shard outbox;
-// in the scatter phase every worker delivers the messages addressed to its
-// shard into the engine's flat double-buffered inbox/next arrays and tallies
-// the delivery counters. Because shards are contiguous node ranges, each
-// worker's slice of the flat message plane is a contiguous half-edge window:
-// the scatter sweep is sequential cache-line traffic, and no per-node
-// goroutines or per-edge channels are allocated, so the engine scales to
-// million-node graphs where RunConcurrent's goroutine-per-node synchronizer
-// collapses.
+// every worker runs its shard's live worklist against the current inboxes
+// and stages outgoing messages into a per-destination-shard outbox; in the
+// scatter phase every worker delivers the messages addressed to its shard
+// into its window of the engine's flat inbox array and tallies the delivery
+// counters. Because shards are contiguous node ranges, each worker's slice
+// of the flat message plane is a contiguous half-edge window; worklists and
+// staged-slot delivery make a late round cost O(active + messages) rather
+// than O(n + m), and no per-node goroutines or per-edge channels are
+// allocated, so the engine scales to million-node graphs where
+// RunConcurrent's goroutine-per-node synchronizer collapses.
 //
 // Every mutable location has a single writer (the shard owner), phases are
 // separated by barriers, and counters merge over order-independent sums and
 // maxima, so for a given Config and seed the Result — outputs, rounds,
-// message count, bit total, and max message size — is identical to Run's and
-// RunConcurrent's. The test suite asserts this equivalence on random GNP,
-// tree and power-law networks under every randomness regime.
+// active trajectory, message count, bit total, and max message size — is
+// identical to Run's and RunConcurrent's. The test suite asserts this
+// equivalence on random GNP, tree and power-law networks under every
+// randomness regime.
 func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers int) (*Result[T], error) {
 	st, err := newEngineState(cfg, factory)
 	if err != nil {
@@ -155,15 +195,25 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 		return st.runSequential(maxRounds)
 	}
 
-	// Contiguous shards: worker i owns [i·n/W, (i+1)·n/W).
+	// Contiguous shards balanced by half-edge count: worker i owns
+	// [bounds[i], bounds[i+1]).
+	bounds := st.g.ShardBounds(workers)
 	shardOf := make([]int32, st.n)
 	pool := make([]*parallelWorker, workers)
 	for i := 0; i < workers; i++ {
-		lo, hi := i*st.n/workers, (i+1)*st.n/workers
-		pool[i] = &parallelWorker{lo: lo, hi: hi, outbox: make([][]stagedMsg, workers)}
+		lo, hi := bounds[i], bounds[i+1]
+		w := &parallelWorker{
+			lo: lo, hi: hi,
+			active: make([]int32, hi-lo),
+			arena:  &arena{},
+			outbox: make([][]stagedMsg, workers),
+		}
 		for v := lo; v < hi; v++ {
 			shardOf[v] = int32(i)
+			w.active[v-lo] = int32(v)
+			st.ctxs[v].arena = w.arena
 		}
+		pool[i] = w
 	}
 	core := &engineStateCore{
 		off:            st.off,
@@ -171,7 +221,6 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 		rev:            st.rev,
 		done:           st.done,
 		inbox:          st.inbox,
-		next:           st.next,
 		shardOf:        shardOf,
 		maxMessageBits: cfg.MaxMessageBits,
 		round:          st.roundFor,
@@ -231,7 +280,9 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 			}
 		}
 		runPhase(phaseCmd{phase: phaseScatter, round: r})
+		activeN := 0
 		for _, w := range pool {
+			activeN += w.activeN
 			st.running -= w.halted
 			st.messages += w.msgs
 			st.bits += w.bits
@@ -239,6 +290,7 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 				st.maxBits = w.maxBits
 			}
 		}
+		st.activeTrace = append(st.activeTrace, activeN)
 		st.rounds++
 	}
 	stop()

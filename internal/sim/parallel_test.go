@@ -57,6 +57,16 @@ func assertResultsEqual(t *testing.T, label string, want, got *Result[uint64]) {
 	if got.Rounds != want.Rounds {
 		t.Errorf("%s: rounds = %d, want %d", label, got.Rounds, want.Rounds)
 	}
+	if len(got.ActivePerRound) != len(want.ActivePerRound) {
+		t.Errorf("%s: active trace length = %d, want %d", label, len(got.ActivePerRound), len(want.ActivePerRound))
+	} else {
+		for r := range want.ActivePerRound {
+			if got.ActivePerRound[r] != want.ActivePerRound[r] {
+				t.Errorf("%s: active[%d] = %d, want %d", label, r, got.ActivePerRound[r], want.ActivePerRound[r])
+				break
+			}
+		}
+	}
 	if got.Messages != want.Messages {
 		t.Errorf("%s: messages = %d, want %d", label, got.Messages, want.Messages)
 	}

@@ -6,8 +6,10 @@ import (
 )
 
 // Scheduler selects which engine executes a simulation. All three produce
-// identical Results for the same Config and seed; they differ only in how
-// the synchronous schedule is realized on the host machine.
+// identical Results for the same Config and seed — including the per-round
+// active-node trajectory — they differ only in how the synchronous schedule
+// is realized on the host machine: one worklist sweep, a goroutine-per-node
+// synchronizer over the live fringe, or a half-edge-balanced worker pool.
 type Scheduler int
 
 const (

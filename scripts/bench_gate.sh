@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# bench_gate.sh — CI benchmark-regression gate.
+#
+# Reruns the engine benchmarks and compares ns/op and allocs/op per
+# benchmark against a committed BENCH_PR*.json baseline, failing (exit 1)
+# when either metric regresses by more than the threshold. Benchmarks
+# without a row in the baseline (newly added ones) are recorded but not
+# gated. The fresh run is always written to BENCH_FRESH.json so CI can
+# upload it as an artifact for trend inspection.
+#
+# allocs/op is machine-independent and gates exactly. ns/op compares a fresh
+# run against numbers recorded on whatever machine produced the baseline
+# JSON, so a host much slower than the recording machine can trip it
+# spuriously even with min-of-BENCH_COUNT noise stripping — raise
+# BENCH_GATE_THRESHOLD_PCT (or re-record the baseline) when moving the gate
+# to a slower runner class.
+#
+# Usage: scripts/bench_gate.sh [baseline.json] [benchtime]
+#   baseline.json  default BENCH_PR2.json
+#   benchtime      default 1x (each size runs BENCH_COUNT times; the gate
+#                  compares the min, which strips shared-machine noise)
+# Env:
+#   BENCH_GATE_THRESHOLD_PCT  allowed regression per metric (default 15)
+#   BENCH_COUNT               runs per benchmark to take the min of (default 3)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+. scripts/bench_lib.sh
+
+BASELINE="${1:-BENCH_PR2.json}"
+BENCHTIME="${2:-1x}"
+THRESHOLD="${BENCH_GATE_THRESHOLD_PCT:-15}"
+export BENCH_COUNT="${BENCH_COUNT:-3}"
+OUT="BENCH_FRESH.json"
+
+if [ ! -f "$BASELINE" ]; then
+	echo "bench_gate: baseline $BASELINE not found" >&2
+	exit 2
+fi
+
+raw=$(run_benchmarks_isolated "$BENCHTIME" \
+	'BenchmarkRun$/^n=65536$' 'BenchmarkRun$/^n=1048576$' \
+	'BenchmarkRunStaggered$/^n=65536$' 'BenchmarkRunStaggered$/^n=1048576$' \
+	'BenchmarkRunParallel$/^n=65536$' 'BenchmarkRunParallel$/^n=1048576$' | min_over_runs)
+
+printf '%s\n' "$raw" |
+	bench_to_json "bench-gate run vs $BASELINE" "$BENCHTIME" "$(baselines_from_json "$BASELINE")" > "$OUT"
+echo "wrote $OUT"
+
+CORES=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)
+
+printf '%s\n' "$raw" | awk -v thr="$THRESHOLD" -v cores="$CORES" -v baselines="$(baselines_from_json "$BASELINE")" '
+BEGIN {
+	nb = split(baselines, lines, "\n")
+	for (i = 1; i <= nb; i++) {
+		split(lines[i], f, " ")
+		if (f[1] != "") { bns[f[1]] = f[2]; ball[f[1]] = f[3] }
+	}
+	fail = 0
+}
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op")     ns     = $(i-1)
+		if ($i == "allocs/op") allocs = $(i-1)
+	}
+	if (ns == "") next
+	if (!(name in bns)) {
+		printf "%-55s (no baseline; not gated)\n", name
+		next
+	}
+	if (name ~ /\/workers=1$/) {
+		# A one-worker pool dispatches to the sequential engine, so these
+		# rows duplicate BenchmarkRun, which is already gated; they are
+		# recorded in the fresh JSON but not compared.
+		printf "%-55s (duplicates sequential path; not gated)\n", name
+		next
+	}
+	dns = (ns / bns[name] - 1) * 100
+	dal = (allocs / ball[name] - 1) * 100
+	# Wall clock of a K-worker benchmark only means something on a host
+	# that can run K workers in parallel; on smaller hosts barrier
+	# scheduling noise dominates, so gate just the allocations there.
+	gateNS = 1
+	if (match(name, /workers=[0-9]+$/) && substr(name, RSTART + 8) + 0 > cores + 0) gateNS = 0
+	status = "ok"
+	if (!gateNS) status = "ok (ns not gated: workers > cores)"
+	if ((gateNS && dns > thr) || dal > thr) { status = "REGRESSION"; fail = 1 }
+	printf "%-55s ns/op %+8.1f%%  allocs/op %+8.1f%%  %s\n", name, dns, dal, status
+}
+END {
+	if (fail) exit 1
+	print "bench_gate: within threshold"
+}
+' || { echo "bench_gate: FAILED (threshold ${THRESHOLD}%, baseline $BASELINE)" >&2; exit 1; }

@@ -10,46 +10,21 @@
 # Usage: scripts/bench_pr2.sh [benchtime]   (default 2x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+. scripts/bench_lib.sh
 
 BENCHTIME="${1:-2x}"
 OUT="BENCH_PR2.json"
 
-raw=$(go test -run NONE -bench 'BenchmarkRun(Parallel)?$' -benchtime "$BENCHTIME" -benchmem .)
+# Pre-refactor baseline: commit e48e40f ([][]int adjacency, per-node
+# inbox/next slices, revPort rebuilt per run), -benchtime 2x.
+PRE_CSR_BASELINE="BenchmarkRun/n=65536 430152058 1966346 128189856
+BenchmarkRun/n=1048576 15793820320 31461386 2055884016
+BenchmarkRunParallel/n=65536/workers=2 595727598 1966479 217318456
+BenchmarkRunParallel/n=1048576/workers=2 15546930156 31461567 3410250632"
 
-echo "$raw" | awk '
-BEGIN {
-    # Pre-refactor baseline: commit e48e40f ([][]int adjacency, per-node
-    # inbox/next slices, revPort rebuilt per run), -benchtime 2x.
-    base["BenchmarkRun/n=65536"]                  = "430152058 1966346 128189856"
-    base["BenchmarkRun/n=1048576"]                = "15793820320 31461386 2055884016"
-    base["BenchmarkRunParallel/n=65536/workers=2"]   = "595727598 1966479 217318456"
-    base["BenchmarkRunParallel/n=1048576/workers=2"] = "15546930156 31461567 3410250632"
-    printf "{\n  \"note\": \"engine-scaling benchmarks; baseline = pre-CSR commit e48e40f\",\n"
-    printf "  \"benchtime\": \"'"$BENCHTIME"'\",\n  \"benchmarks\": [\n"
-    first = 1
-}
-/^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
-    ns = allocs = bytes = ""
-    for (i = 2; i <= NF; i++) {
-        if ($i == "ns/op")     ns     = $(i-1)
-        if ($i == "allocs/op") allocs = $(i-1)
-        if ($i == "B/op")      bytes  = $(i-1)
-    }
-    if (ns == "") next
-    if (!first) printf ",\n"
-    first = 0
-    printf "    {\n      \"name\": \"%s\",\n      \"ns_per_op\": %s,\n      \"bytes_per_op\": %s,\n      \"allocs_per_op\": %s", name, ns, bytes, allocs
-    if (name in base) {
-        split(base[name], b, " ")
-        printf ",\n      \"baseline_ns_per_op\": %s,\n      \"baseline_allocs_per_op\": %s,\n      \"baseline_bytes_per_op\": %s", b[1], b[2], b[3]
-        printf ",\n      \"allocs_reduction_pct\": %.1f", (1 - allocs / b[2]) * 100
-        printf ",\n      \"ns_reduction_pct\": %.1f", (1 - ns / b[1]) * 100
-    }
-    printf "\n    }"
-}
-END { printf "\n  ]\n}\n" }
-' > "$OUT"
+run_benchmarks_isolated "$BENCHTIME" \
+	'BenchmarkRun$/^n=65536$' 'BenchmarkRun$/^n=1048576$' \
+	'BenchmarkRunParallel$/^n=65536$' 'BenchmarkRunParallel$/^n=1048576$' |
+	bench_to_json "engine-scaling benchmarks; baseline = pre-CSR commit e48e40f" "$BENCHTIME" "$PRE_CSR_BASELINE" > "$OUT"
 
 echo "wrote $OUT"

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# bench_pr3.sh — record the worklist + arena perf trajectory.
+#
+# Runs BenchmarkRun, BenchmarkRunParallel and BenchmarkRunStaggered (the
+# late-round-dominated workload the active-node worklist targets) and emits
+# BENCH_PR3.json at the repo root, next to the frozen pre-worklist baseline
+# (commit 2187873: O(n) done-flag sweeps, O(m) delivery sweeps, heap-
+# allocated payloads; measured on the same class of machine, -benchtime 2x).
+#
+# Usage: scripts/bench_pr3.sh [benchtime]   (default 2x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+. scripts/bench_lib.sh
+
+BENCHTIME="${1:-2x}"
+OUT="BENCH_PR3.json"
+
+PRE_WORKLIST_BASELINE="BenchmarkRun/n=65536 159226616 1114122 49324480
+BenchmarkRun/n=1048576 5324929268 17825802 790348224
+BenchmarkRunStaggered/n=65536 173990231 589826 45130112
+BenchmarkRunStaggered/n=1048576 5938177341 9437186 723239296
+BenchmarkRunParallel/n=65536/workers=2 238886663 1114255 120647552
+BenchmarkRunParallel/n=1048576/workers=2 7357513976 17825983 1874628480"
+
+run_benchmarks_isolated "$BENCHTIME" \
+	'BenchmarkRun$/^n=65536$' 'BenchmarkRun$/^n=1048576$' \
+	'BenchmarkRunStaggered$/^n=65536$' 'BenchmarkRunStaggered$/^n=1048576$' \
+	'BenchmarkRunParallel$/^n=65536$' 'BenchmarkRunParallel$/^n=1048576$' |
+	bench_to_json "worklist + arena benchmarks; baseline = pre-worklist commit 2187873" "$BENCHTIME" "$PRE_WORKLIST_BASELINE" > "$OUT"
+
+echo "wrote $OUT"
