@@ -30,11 +30,7 @@ func (c *misChecker) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
 		if c.inMIS {
 			bit = 1
 		}
-		out := make([]sim.Message, c.ctx.Degree)
-		for i := range out {
-			out[i] = sim.Uints(bit)
-		}
-		return out, false
+		return c.ctx.Broadcast(c.ctx.Uints(bit)), false
 	}
 	neighborIn := false
 	for _, m := range inbox {
@@ -91,11 +87,8 @@ func (c *coloringChecker) Round(r int, inbox []sim.Message) ([]sim.Message, bool
 		if c.color < 0 || (c.maxColors > 0 && c.color >= c.maxColors) {
 			c.answer = false
 		}
-		out := make([]sim.Message, c.ctx.Degree)
-		for i := range out {
-			out[i] = sim.Uints(uint64(c.color + 1)) // shift to keep -1 encodable
-		}
-		return out, false
+		// Shift by one to keep -1 encodable.
+		return c.ctx.Broadcast(c.ctx.Uints(uint64(c.color + 1))), false
 	}
 	for _, m := range inbox {
 		if m == nil {
@@ -144,7 +137,6 @@ type decompChecker struct {
 	color   int
 	rounds  int
 	minSeen uint64
-	sawMin  map[uint64]bool
 	answer  bool
 }
 
@@ -152,7 +144,6 @@ func (c *decompChecker) Init(ctx *sim.NodeCtx) {
 	c.ctx = ctx
 	c.answer = true
 	c.minSeen = ctx.ID
-	c.sawMin = map[uint64]bool{}
 }
 
 func (c *decompChecker) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
@@ -165,8 +156,8 @@ func (c *decompChecker) Round(r int, inbox []sim.Message) ([]sim.Message, bool) 
 		if m == nil {
 			continue
 		}
-		vals, ok := sim.DecodeUints(m, 3)
-		if !ok {
+		var vals [3]uint64
+		if !sim.DecodeUintsInto(m, vals[:]) {
 			continue
 		}
 		nbCluster, nbColor, nbMin := int(vals[0]), int(vals[1]), vals[2]
@@ -184,12 +175,7 @@ func (c *decompChecker) Round(r int, inbox []sim.Message) ([]sim.Message, bool) 
 		// The flood is complete; nothing more can arrive in time.
 		return nil, true
 	}
-	out := make([]sim.Message, c.ctx.Degree)
-	payload := sim.Uints(uint64(c.cluster), uint64(c.color), c.minSeen)
-	for i := range out {
-		out[i] = payload
-	}
-	return out, false
+	return c.ctx.Broadcast(c.ctx.Uints(uint64(c.cluster), uint64(c.color), c.minSeen)), false
 }
 
 func (c *decompChecker) Output() uint64 { return c.minSeen }

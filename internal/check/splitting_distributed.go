@@ -26,11 +26,7 @@ func (c *splitChecker) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
 			c.answer = false
 			return nil, true
 		}
-		out := make([]sim.Message, c.ctx.Degree)
-		for i := range out {
-			out[i] = sim.Uints(uint64(c.color))
-		}
-		return out, false
+		return c.ctx.Broadcast(c.ctx.Uints(uint64(c.color))), false
 	}
 	if c.isU {
 		var saw [2]bool

@@ -73,14 +73,11 @@ func (p *program) strike(color int) {
 	}
 }
 
+// broadcastActive fills the engine-owned outbox with payload on the ports
+// whose neighbors are still undecided; payloads are carved from the per-round
+// arena, so a steady-state phase allocates nothing.
 func (p *program) broadcastActive(payload sim.Message) []sim.Message {
-	out := make([]sim.Message, p.ctx.Degree)
-	for i, a := range p.active {
-		if a {
-			out[i] = payload
-		}
-	}
-	return out
+	return p.ctx.BroadcastActive(payload, p.active)
 }
 
 func (p *program) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
@@ -96,8 +93,8 @@ func (p *program) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
 			if m == nil {
 				continue
 			}
-			vals, ok := sim.DecodeUints(m, 2)
-			if ok && vals[0] == msgFinal {
+			var vals [2]uint64
+			if sim.DecodeUintsInto(m, vals[:]) && vals[0] == msgFinal {
 				p.strike(int(vals[1]))
 				p.active[port] = false
 			}
@@ -115,15 +112,15 @@ func (p *program) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
 			idx = p.ctx.Rand.Intn(len(p.palette))
 		}
 		p.candidate = p.palette[idx]
-		return p.broadcastActive(sim.Uints(msgCandidate, uint64(p.candidate))), false
+		return p.broadcastActive(p.ctx.Uints(msgCandidate, uint64(p.candidate))), false
 	default:
 		keep := true
 		for port, m := range inbox {
 			if m == nil || !p.active[port] {
 				continue
 			}
-			vals, ok := sim.DecodeUints(m, 2)
-			if !ok || vals[0] != msgCandidate {
+			var vals [2]uint64
+			if !sim.DecodeUintsInto(m, vals[:]) || vals[0] != msgCandidate {
 				continue
 			}
 			if int(vals[1]) == p.candidate && p.ctx.NeighborIDs[port] > p.ctx.ID {
@@ -133,7 +130,7 @@ func (p *program) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
 		if keep {
 			p.color = p.candidate
 			p.decided = true
-			return p.broadcastActive(sim.Uints(msgFinal, uint64(p.color))), true
+			return p.broadcastActive(p.ctx.Uints(msgFinal, uint64(p.color))), true
 		}
 		return nil, false
 	}

@@ -89,6 +89,7 @@ type enProgram struct {
 	ctx      *sim.NodeCtx
 	phaseLen int
 	top      []enEntry // at most 2, distinct centers, sorted best-first
+	scratch  [5]uint64 // encode buffer: count + two (center, value) pairs
 	out      enOutput
 }
 
@@ -143,18 +144,15 @@ func (p *enProgram) sortTop() {
 	}
 }
 
+// broadcast encodes the top-2 candidate list into the program's scratch
+// buffer, carves the payload from the engine's per-round arena and fills the
+// engine-owned outbox — the steady-state round loop allocates nothing.
 func (p *enProgram) broadcast() []sim.Message {
-	payload := sim.Message{}
-	payload = sim.AppendUint(payload, uint64(len(p.top)))
+	buf := append(p.scratch[:0], uint64(len(p.top)))
 	for _, e := range p.top {
-		payload = sim.AppendUint(payload, e.id)
-		payload = sim.AppendUint(payload, uint64(e.val))
+		buf = append(buf, e.id, uint64(e.val))
 	}
-	out := make([]sim.Message, p.ctx.Degree)
-	for i := range out {
-		out[i] = payload
-	}
-	return out
+	return p.ctx.Broadcast(p.ctx.Uints(buf...))
 }
 
 func (p *enProgram) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
@@ -174,15 +172,19 @@ func (p *enProgram) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
 			if m == nil {
 				continue
 			}
-			vals, ok := sim.DecodeAllUints(m)
-			if !ok || len(vals) == 0 {
+			k, rest, ok := sim.ReadUint(m)
+			if !ok {
 				continue
 			}
-			k := int(vals[0])
-			for i := 0; i < k && 2+2*i < len(vals); i++ {
-				id := vals[1+2*i]
-				val := int(vals[2+2*i])
-				p.merge(enEntry{id: id, val: val - 1})
+			for i := uint64(0); i < k; i++ {
+				var id, val uint64
+				if id, rest, ok = sim.ReadUint(rest); !ok {
+					break
+				}
+				if val, rest, ok = sim.ReadUint(rest); !ok {
+					break
+				}
+				p.merge(enEntry{id: id, val: int(val) - 1})
 			}
 		}
 		return p.broadcast(), false

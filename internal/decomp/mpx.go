@@ -58,8 +58,8 @@ func (p *mpxProgram) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
 			if m == nil {
 				continue
 			}
-			vals, ok := sim.DecodeUints(m, 2)
-			if !ok {
+			var vals [2]uint64
+			if !sim.DecodeUintsInto(m, vals[:]) {
 				continue
 			}
 			e := enEntry{id: vals[0], val: int(vals[1]) - 1}
@@ -75,12 +75,7 @@ func (p *mpxProgram) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
 }
 
 func (p *mpxProgram) broadcast() []sim.Message {
-	payload := sim.Uints(p.best.id, uint64(p.best.val))
-	out := make([]sim.Message, p.ctx.Degree)
-	for i := range out {
-		out[i] = payload
-	}
-	return out
+	return p.ctx.Broadcast(p.ctx.Uints(p.best.id, uint64(p.best.val)))
 }
 
 func (p *mpxProgram) Output() int { return p.out }

@@ -41,3 +41,53 @@ func (g *Graph) ShardBounds(k int) []int {
 	}
 	return bounds
 }
+
+// ShardBoundsLive re-cuts the node range [0, n) into k contiguous shards of
+// near-equal *surviving* half-edge count: live is the ascending list of node
+// indices still running, and each boundary is placed between live nodes so
+// that every shard carries a near-equal share of the live nodes' half-edges.
+// Like ShardBounds it returns k+1 ascending node boundaries with bounds[0] =
+// 0 and bounds[k] = n, so the shards still tile the whole node range —
+// halted nodes ride along with whichever shard the cut lands them in, which
+// keeps each shard's half-edge window contiguous (the engines' single-writer
+// invariant). Every shard contains at least one live node.
+//
+// This is the re-sharding primitive for the shattering-style tail: once the
+// live fringe has shrunk, the initial whole-graph cut can leave most workers
+// idle, and re-cutting over the survivors rebalances the pool in O(live + n)
+// time. It panics unless 0 < k <= len(live); live must be ascending within
+// [0, n) (the engines' worklists are).
+func (g *Graph) ShardBoundsLive(k int, live []int32) []int {
+	n := g.N()
+	if k <= 0 || k > len(live) {
+		panic(fmt.Sprintf("graph: ShardBoundsLive(%d) for %d live nodes", k, len(live)))
+	}
+	// prefix[j] is the half-edge count of live[:j].
+	prefix := make([]int64, len(live)+1)
+	for j, v := range live {
+		prefix[j+1] = prefix[j] + (g.off[v+1] - g.off[v])
+	}
+	total := prefix[len(live)]
+	bounds := make([]int, k+1)
+	bounds[k] = n
+	j := 0    // index into live of the first live node of shard i
+	prev := 0 // j of the previous boundary, so every shard gets a live node
+	for i := 1; i < k; i++ {
+		target := total * int64(i) / int64(k)
+		for j < len(live) && prefix[j] < target {
+			j++
+		}
+		// Keep at least one live node per shard on both sides of the cut
+		// (the scan can stall on zero-degree live nodes or overshoot on a
+		// hub, so both clamps are load-bearing).
+		if j <= prev {
+			j = prev + 1
+		}
+		if hi := len(live) - (k - i); j > hi {
+			j = hi
+		}
+		bounds[i] = int(live[j])
+		prev = j
+	}
+	return bounds
+}

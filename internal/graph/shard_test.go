@@ -65,6 +65,109 @@ func TestShardBoundsBalanceByHalfEdges(t *testing.T) {
 	}
 }
 
+func TestShardBoundsLiveInvariants(t *testing.T) {
+	rng := prng.New(53)
+	graphs := []struct {
+		name string
+		g    *Graph
+	}{
+		{"ring", Ring(60)},
+		{"gnp", GNPConnected(140, 0.05, rng)},
+		{"powerlaw", PowerLaw(160, 3, rng)},
+		{"star", FromEdges(80, starEdges(80))},
+		{"edgeless", NewBuilder(30).Graph()},
+	}
+	for _, tg := range graphs {
+		n := tg.g.N()
+		// Several survivor patterns: every third node, a contiguous block,
+		// and a random thinning — all ascending, as the engines maintain.
+		lives := [][]int32{makeLive(n, func(v int) bool { return v%3 == 0 })}
+		lives = append(lives, makeLive(n, func(v int) bool { return v >= n/2 }))
+		lives = append(lives, makeLive(n, func(v int) bool { return rng.Intn(4) != 0 }))
+		for _, live := range lives {
+			for _, k := range []int{1, 2, 3, 5, len(live)} {
+				if k > len(live) {
+					continue
+				}
+				bounds := tg.g.ShardBoundsLive(k, live)
+				if len(bounds) != k+1 || bounds[0] != 0 || bounds[k] != n {
+					t.Fatalf("%s k=%d: bounds %v, want 0..%d in %d cuts", tg.name, k, bounds, n, k)
+				}
+				li := 0
+				for i := 0; i < k; i++ {
+					if bounds[i+1] <= bounds[i] {
+						t.Errorf("%s k=%d: shard %d is empty: [%d,%d)", tg.name, k, i, bounds[i], bounds[i+1])
+					}
+					inShard := 0
+					for li < len(live) && int(live[li]) < bounds[i+1] {
+						inShard++
+						li++
+					}
+					if inShard == 0 {
+						t.Errorf("%s k=%d: shard %d [%d,%d) holds no live node", tg.name, k, i, bounds[i], bounds[i+1])
+					}
+				}
+				if li != len(live) {
+					t.Errorf("%s k=%d: %d live nodes fell outside all shards", tg.name, k, len(live)-li)
+				}
+			}
+		}
+	}
+}
+
+// TestShardBoundsLiveBalance checks the re-sharding payoff: when the
+// survivors cluster in one corner of the node range, the live half-edge
+// spans stay near ideal even though the plain whole-graph cut would give
+// one shard everything.
+func TestShardBoundsLiveBalance(t *testing.T) {
+	g := GNPConnected(300, 0.04, prng.New(17))
+	// Survivors: the last sixth of the node range.
+	live := makeLive(g.N(), func(v int) bool { return v >= 250 })
+	k := 4
+	var total int64
+	for _, v := range live {
+		total += int64(g.Degree(int(v)))
+	}
+	bounds := g.ShardBoundsLive(k, live)
+	ideal := total / int64(k)
+	li := 0
+	for i := 0; i < k; i++ {
+		var span int64
+		for li < len(live) && int(live[li]) < bounds[i+1] {
+			span += int64(g.Degree(int(live[li])))
+			li++
+		}
+		if span > ideal+int64(g.MaxDegree())+1 {
+			t.Errorf("shard %d holds %d live half-edges, ideal %d, Δ=%d", i, span, ideal, g.MaxDegree())
+		}
+	}
+}
+
+func TestShardBoundsLivePanicsOutOfRange(t *testing.T) {
+	g := Ring(6)
+	live := []int32{1, 3, 5}
+	for _, k := range []int{0, -1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ShardBoundsLive(%d) did not panic", k)
+				}
+			}()
+			g.ShardBoundsLive(k, live)
+		}()
+	}
+}
+
+func makeLive(n int, keep func(v int) bool) []int32 {
+	var live []int32
+	for v := 0; v < n; v++ {
+		if keep(v) {
+			live = append(live, int32(v))
+		}
+	}
+	return live
+}
+
 func TestShardBoundsPanicsOutOfRange(t *testing.T) {
 	g := Ring(5)
 	for _, k := range []int{0, -1, 6} {

@@ -80,20 +80,11 @@ func (p *lubyProgram) drawPriority(phase int) uint64 {
 	return p.ctx.Rand.Bits(p.cfg.PriorityBits)
 }
 
-// broadcastActive sends payload on every still-active port. The outbox is
-// assembled in the engine-owned NodeCtx.Outbox scratch — every slot set or
-// nilled each call, as its contract requires — so a phase costs no outbox
-// allocation.
+// broadcastActive sends payload on every still-active port, assembling the
+// outbox in the engine-owned NodeCtx.Outbox scratch via BroadcastActive, so
+// a phase costs no outbox allocation.
 func (p *lubyProgram) broadcastActive(payload sim.Message) []sim.Message {
-	out := p.ctx.Outbox
-	for i, active := range p.activePort {
-		if active {
-			out[i] = payload
-		} else {
-			out[i] = nil
-		}
-	}
-	return out
+	return p.ctx.BroadcastActive(payload, p.activePort)
 }
 
 // absorb processes IN/OUT notifications (arriving at the start of a phase
@@ -142,8 +133,8 @@ func (p *lubyProgram) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
 			if m == nil || !p.activePort[port] {
 				continue
 			}
-			vals, ok := sim.DecodeUints(m, 2)
-			if !ok || vals[0] != msgPriority {
+			var vals [2]uint64
+			if !sim.DecodeUintsInto(m, vals[:]) || vals[0] != msgPriority {
 				continue
 			}
 			theirs := vals[1]

@@ -1,0 +1,47 @@
+package mis
+
+import (
+	"os"
+	"testing"
+
+	"randlocal/internal/sim"
+)
+
+// TestMain enables the engine's poisoned-Outbox check for the package's
+// whole test run (Luby assembles its outbox in the NodeCtx.Outbox scratch).
+func TestMain(m *testing.M) {
+	sim.SetDebugOutboxCheck(true)
+	os.Exit(m.Run())
+}
+
+// TestLubySteadyStateRoundsAllocNothing measures both halves of a Luby
+// phase under testing.AllocsPerRun: the priority broadcast (injected draw,
+// arena payload, engine-scratch outbox) and the losing comparison round
+// (scratch-array decode, no sends), asserting zero allocations each.
+func TestLubySteadyStateRoundsAllocNothing(t *testing.T) {
+	const deg = 6
+	nids := []uint64{100, 101, 102, 103, 104, 105}
+	ctx, rotate := sim.NewBenchCtx(deg, 42, 1024, nids)
+	prog := &lubyProgram{cfg: LubyConfig{Priority: func(v, phase int) uint64 { return 77 }}}
+	prog.Init(ctx)
+
+	empty := make([]sim.Message, deg)
+	avg := testing.AllocsPerRun(100, func() {
+		rotate()
+		prog.Round(0, empty)
+	})
+	if avg != 0 {
+		t.Errorf("priority round allocates %.1f times, want 0", avg)
+	}
+
+	// A neighbor with a higher priority: the node loses and stays silent.
+	lose := make([]sim.Message, deg)
+	lose[3] = sim.Uints(msgPriority, 1000)
+	avg = testing.AllocsPerRun(100, func() {
+		rotate()
+		prog.Round(1, lose)
+	})
+	if avg != 0 {
+		t.Errorf("comparison round allocates %.1f times, want 0", avg)
+	}
+}

@@ -48,12 +48,7 @@ func (f *FloodMinProgram) Round(r int, inbox []sim.Message) ([]sim.Message, bool
 	if r >= f.Rounds {
 		return nil, true
 	}
-	out := make([]sim.Message, f.ctx.Degree)
-	payload := sim.Uints(f.best)
-	for p := range out {
-		out[p] = payload
-	}
-	return out, false
+	return f.ctx.Broadcast(f.ctx.Uints(f.best)), false
 }
 
 // Output returns the minimum identifier heard.
@@ -87,8 +82,13 @@ type bfsTree struct {
 	ctx      *sim.NodeCtx
 	out      BFSOutput
 	children []int // ports of children
-	reported map[int]int
-	sentUp   bool
+	// reported[p] is the subtree size announced on port p (-1 until it
+	// arrives) and nReported counts the ports that have announced — a
+	// port-indexed slice instead of a map, so convergecast rounds allocate
+	// nothing.
+	reported  []int
+	nReported int
+	sentUp    bool
 }
 
 func (b *bfsTree) Init(ctx *sim.NodeCtx) {
@@ -97,7 +97,10 @@ func (b *bfsTree) Init(ctx *sim.NodeCtx) {
 		b.Depth = ctx.N
 	}
 	b.out = BFSOutput{Dist: -1, ParentPort: -1}
-	b.reported = map[int]int{}
+	b.reported = make([]int, ctx.Degree)
+	for p := range b.reported {
+		b.reported[p] = -1
+	}
 	if ctx.ID == b.RootID {
 		b.out.Dist = 0
 	}
@@ -117,8 +120,8 @@ func (b *bfsTree) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
 			if m == nil {
 				continue
 			}
-			vals, ok := sim.DecodeUints(m, 2)
-			if !ok || vals[0] != bfsWave {
+			var vals [2]uint64
+			if !sim.DecodeUintsInto(m, vals[:]) || vals[0] != bfsWave {
 				continue
 			}
 			if b.out.Dist < 0 {
@@ -129,12 +132,9 @@ func (b *bfsTree) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
 		// Forward the wave exactly once, the round after joining.
 		joinedAt := b.out.Dist
 		if joinedAt >= 0 && r == joinedAt {
-			out := make([]sim.Message, b.ctx.Degree)
-			payload := sim.Uints(bfsWave, uint64(b.out.Dist))
-			for p := range out {
-				if p != b.out.ParentPort {
-					out[p] = payload
-				}
+			out := b.ctx.Broadcast(b.ctx.Uints(bfsWave, uint64(b.out.Dist)))
+			if b.out.ParentPort >= 0 {
+				out[b.out.ParentPort] = nil
 			}
 			return out, false
 		}
@@ -143,9 +143,9 @@ func (b *bfsTree) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
 		if b.out.Dist < 0 {
 			return nil, true // unreached; done
 		}
-		out := make([]sim.Message, b.ctx.Degree)
+		out := b.ctx.Broadcast(nil)
 		if b.out.ParentPort >= 0 {
-			out[b.out.ParentPort] = sim.Uints(bfsParent)
+			out[b.out.ParentPort] = b.ctx.Uints(bfsParent)
 		}
 		return out, false
 	case r == T+2: // learn children
@@ -163,23 +163,26 @@ func (b *bfsTree) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
 			if m == nil {
 				continue
 			}
-			vals, ok := sim.DecodeUints(m, 2)
-			if ok && vals[0] == bfsCount {
+			var vals [2]uint64
+			if sim.DecodeUintsInto(m, vals[:]) && vals[0] == bfsCount {
+				if b.reported[port] < 0 {
+					b.nReported++
+				}
 				b.reported[port] = int(vals[1])
 			}
 		}
-		if len(b.reported) == len(b.children) && !b.sentUp {
+		if b.nReported == len(b.children) && !b.sentUp {
 			size := 1
-			for _, s := range b.reported {
-				size += s
+			for _, c := range b.children {
+				size += b.reported[c]
 			}
 			b.out.SubtreeSize = size
 			b.sentUp = true
 			if b.out.ParentPort < 0 {
 				return nil, true // root: done with the global count
 			}
-			out := make([]sim.Message, b.ctx.Degree)
-			out[b.out.ParentPort] = sim.Uints(bfsCount, uint64(size))
+			out := b.ctx.Broadcast(nil)
+			out[b.out.ParentPort] = b.ctx.Uints(bfsCount, uint64(size))
 			return out, false
 		}
 		if b.sentUp {

@@ -1,0 +1,74 @@
+package protocols
+
+import (
+	"os"
+	"testing"
+
+	"randlocal/internal/sim"
+)
+
+// TestMain enables the engine's poisoned-Outbox check for the package's
+// whole test run (FloodMin and the BFS tree assemble their outboxes in the
+// NodeCtx.Outbox scratch).
+func TestMain(m *testing.M) {
+	sim.SetDebugOutboxCheck(true)
+	os.Exit(m.Run())
+}
+
+// TestFloodMinSteadyStateRoundAllocsNothing measures the canonical flooding
+// round — absorb the minima heard, broadcast the new minimum — under
+// testing.AllocsPerRun.
+func TestFloodMinSteadyStateRoundAllocsNothing(t *testing.T) {
+	const deg = 6
+	ctx, rotate := sim.NewBenchCtx(deg, 42, 1024, nil)
+	prog := NewFloodMin(0)
+	prog.Init(ctx)
+	inbox := make([]sim.Message, deg)
+	for p := range inbox {
+		inbox[p] = sim.Uints(uint64(10 + p))
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		rotate()
+		prog.Round(1, inbox)
+	})
+	if avg != 0 {
+		t.Errorf("FloodMin steady-state round allocates %.1f times, want 0", avg)
+	}
+}
+
+// TestBFSTreeRoundsAllocNothing measures the two message-producing BFS
+// shapes: the root's wave broadcast (all ports except the parent) and a
+// joined node's single-port parent announcement.
+func TestBFSTreeRoundsAllocNothing(t *testing.T) {
+	const deg = 4
+	rootCtx, rotateRoot := sim.NewBenchCtx(deg, 3, 256, nil)
+	root := &bfsTree{RootID: 3}
+	root.Init(rootCtx)
+	waveInbox := make([]sim.Message, deg)
+	avg := testing.AllocsPerRun(100, func() {
+		rotateRoot()
+		root.Round(0, waveInbox)
+	})
+	if avg != 0 {
+		t.Errorf("wave round allocates %.1f times, want 0", avg)
+	}
+
+	ctx, rotate := sim.NewBenchCtx(deg, 9, 256, nil)
+	node := &bfsTree{RootID: 3}
+	node.Init(ctx)
+	joinInbox := make([]sim.Message, deg)
+	joinInbox[1] = sim.Uints(bfsWave, 0)
+	if _, done := node.Round(0, joinInbox); done || node.out.ParentPort != 1 {
+		t.Fatal("node did not join the wave")
+	}
+	// Phase B, round T+1: announce the parent on exactly one port.
+	announceInbox := make([]sim.Message, deg)
+	T := node.Depth
+	avg = testing.AllocsPerRun(100, func() {
+		rotate()
+		node.Round(T+1, announceInbox)
+	})
+	if avg != 0 {
+		t.Errorf("parent-announcement round allocates %.1f times, want 0", avg)
+	}
+}

@@ -56,9 +56,15 @@ func (a *arena) alloc(n int) Message {
 }
 
 // uints encodes xs as consecutive varints carved from the current round's
-// buffer — the arena-backed equivalent of the package-level Uints.
+// buffer — the arena-backed equivalent of the package-level Uints. Reserving
+// the worst-case encoding up front keeps growth on alloc's replace-the-chunk
+// path: AppendUvarint never reallocates (which would memcpy the whole
+// chunk), and payloads already carved keep the old chunk alive.
 func (a *arena) uints(xs []uint64) Message {
 	b := a.bufs[a.flip]
+	if need := binary.MaxVarintLen64 * len(xs); cap(b)-len(b) < need {
+		b = make([]byte, 0, 2*cap(b)+need)
+	}
 	off := len(b)
 	for _, x := range xs {
 		b = binary.AppendUvarint(b, x)

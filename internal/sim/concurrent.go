@@ -75,12 +75,17 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 			deg := int(st.off[v+1] - lo)
 			row := st.adjf[lo : lo+int64(deg)]
 			// The node's inbox window of the engine's flat message plane;
-			// only this goroutine touches it.
+			// only this goroutine touches it (likewise its Outbox window
+			// below, so the poison fill is race-free).
 			inbox := st.inbox[lo : lo+int64(deg) : lo+int64(deg)]
+			outWin := st.outbox[lo : lo+int64(deg)]
 			for r := 0; <-cont[v]; r++ {
 				if r > 0 {
 					// Not before round 0: Init carves share round 0's buffer.
 					a.rotate()
+				}
+				if st.poison {
+					poisonWindow(outWin)
 				}
 				out, nodeDone := prog.Round(r, inbox)
 				var sendErr error
@@ -100,8 +105,16 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 					if sendErr == nil && p < len(out) {
 						msg = out[p]
 					}
+					if st.poison && msg != nil && isPoison(msg) {
+						if rep.err == nil {
+							rep.err = &OutboxPortError{Node: v, Round: r, Port: p}
+						}
+						msg = nil // stay frame-synchronized despite the violation
+					}
 					if msg != nil && cfg.MaxMessageBits > 0 && msg.BitLen() > cfg.MaxMessageBits {
-						rep.err = &BandwidthError{Node: v, Round: r, Bits: msg.BitLen(), Limit: cfg.MaxMessageBits}
+						if rep.err == nil {
+							rep.err = &BandwidthError{Node: v, Round: r, Bits: msg.BitLen(), Limit: cfg.MaxMessageBits}
+						}
 						msg = nil // stay frame-synchronized despite the violation
 					}
 					if msg != nil {

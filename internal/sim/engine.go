@@ -126,6 +126,9 @@ type engineState[T any] struct {
 	inboxSlots []int32
 	arena      *arena
 	ctxs       []NodeCtx
+	// poison latches the poisoned-Outbox debug setting for this run; see
+	// debug.go.
+	poison bool
 
 	running     int
 	rounds      int
@@ -176,6 +179,7 @@ func newEngineState[T any](cfg Config, factory func(v int) NodeProgram[T]) (*eng
 		outbox:  make([]Message, h),
 		arena:   &arena{},
 		ctxs:    make([]NodeCtx, n),
+		poison:  debugOutboxCheck.Load(),
 		running: n,
 	}
 	for v := range st.active {
@@ -229,9 +233,14 @@ func newEngineState[T any](cfg Config, factory func(v int) NodeProgram[T]) (*eng
 }
 
 // roundFor invokes node v's compute phase for round r against its
-// flat-inbox window.
+// flat-inbox window. Under the poisoned-Outbox debug check the node's
+// Outbox window is pre-filled with the sentinel so unset ports are caught
+// when the outbox is consumed.
 func (st *engineState[T]) roundFor(v, r int) ([]Message, bool) {
 	lo, hi := st.off[v], st.off[v+1]
+	if st.poison {
+		poisonWindow(st.outbox[lo:hi])
+	}
 	return st.progs[v].Round(r, st.inbox[lo:hi:hi])
 }
 
@@ -248,6 +257,9 @@ func (st *engineState[T]) step(v, r int) error {
 	for p, msg := range out {
 		if msg == nil {
 			continue
+		}
+		if st.poison && isPoison(msg) {
+			return &OutboxPortError{Node: v, Round: r, Port: p}
 		}
 		b := msg.BitLen()
 		if st.cfg.MaxMessageBits > 0 && b > st.cfg.MaxMessageBits {

@@ -109,6 +109,36 @@ func (c *NodeCtx) Alloc(n int) Message {
 	return c.arena.alloc(n)
 }
 
+// Broadcast fills the engine-owned Outbox window with msg on every port and
+// returns it, ready to be returned from Round — the allocation-free
+// counterpart of the `out := make([]Message, Degree)` + fill loop that every
+// flooding program used to carry. A nil msg yields an all-silent outbox
+// (every slot nilled), which is still a valid Outbox return: each port is
+// explicitly set each round, as the Outbox contract requires.
+func (c *NodeCtx) Broadcast(msg Message) []Message {
+	out := c.Outbox
+	for p := range out {
+		out[p] = msg
+	}
+	return out
+}
+
+// BroadcastActive fills the Outbox window with msg on every port whose entry
+// in active is true and nil on the rest, and returns it. active must have
+// length Degree; it is the "still-live neighbors" mask that phase-based
+// symmetry-breaking programs (Luby, trial-coloring) maintain per port.
+func (c *NodeCtx) BroadcastActive(msg Message, active []bool) []Message {
+	out := c.Outbox
+	for p := range out {
+		if active[p] {
+			out[p] = msg
+		} else {
+			out[p] = nil
+		}
+	}
+	return out
+}
+
 // NodeProgram is a state machine run at one node. Init is called once before
 // round 0. In every round the engine calls Round with the messages received
 // on each port (inbox[p] is nil when the neighbor on port p sent nothing);
@@ -174,6 +204,24 @@ func DecodeUints(m Message, k int) ([]uint64, bool) {
 		m = rest
 	}
 	return out, true
+}
+
+// DecodeUintsInto decodes exactly len(dst) varints into dst, returning false
+// on malformed or short input (dst's contents are unspecified on failure).
+// It is the allocation-free counterpart of DecodeUints: a program that
+// decodes fixed-shape messages every round keeps a scratch array in its
+// state ([2]uint64 or similar) and decodes into it, so the steady-state
+// round loop allocates nothing.
+func DecodeUintsInto(m Message, dst []uint64) bool {
+	for i := range dst {
+		x, rest, ok := ReadUint(m)
+		if !ok {
+			return false
+		}
+		dst[i] = x
+		m = rest
+	}
+	return true
 }
 
 // DecodeAllUints decodes varints until the payload is exhausted.

@@ -36,9 +36,13 @@ type parallelWorker struct {
 	// scatter phase. Reused (truncated, not freed) across rounds.
 	outbox [][]stagedMsg
 	// inboxSlots lists the slots of this shard's inbox window that are
-	// currently non-nil, so the scatter phase clears and refills exactly
-	// the touched slots instead of sweeping the whole window.
+	// currently non-nil, so a sparse scatter phase clears and refills
+	// exactly the touched slots instead of sweeping the whole window.
+	// denseInbox records that the previous scatter took the dense path —
+	// it delivered without recording slots, so the next clear must memclr
+	// the whole window.
 	inboxSlots []int32
+	denseInbox bool
 	// Per-round partial counters, merged by the coordinator in worker order
 	// after the scatter barrier. Sums and max are order-independent, so the
 	// merged totals equal the sequential scheduler's exactly.
@@ -94,6 +98,12 @@ func (w *parallelWorker) compute(st *engineStateCore, r int) {
 			if msg == nil {
 				continue
 			}
+			if st.poison && isPoison(msg) {
+				if w.err == nil {
+					w.err = &OutboxPortError{Node: v, Round: r, Port: p}
+				}
+				break
+			}
 			b := msg.BitLen()
 			if st.maxMessageBits > 0 && b > st.maxMessageBits {
 				if w.err == nil {
@@ -125,14 +135,36 @@ func (w *parallelWorker) compute(st *engineStateCore, r int) {
 
 // scatter delivers every message addressed to this shard — gathered from all
 // workers' outboxes — straight into the shard's inbox window, after clearing
-// the slots the previous round delivered into. Accounting happened at stage
-// time, so the phase is pure data movement, and the staged slot lists make
-// it O(messages touching the shard), not O(half-edges of the shard).
+// what the previous round delivered into it. Accounting happened at stage
+// time, so the phase is pure data movement, and — like the sequential
+// engine's finishRound — which strategy runs is an adaptive locality
+// decision made per shard per round: a dense round (messages a sizable
+// fraction of the window) skips slot bookkeeping and relies on a whole-
+// window memclr, which the runtime vectorizes, while a sparse round walks
+// exactly the touched slots, so a shattering tail costs O(messages touching
+// the shard), not O(half-edges of the shard).
 func (w *parallelWorker) scatter(st *engineStateCore, self int, workers []*parallelWorker) {
-	for _, i := range w.inboxSlots {
-		st.inbox[i] = nil
+	if w.denseInbox {
+		clear(st.inbox[st.off[w.lo]:st.off[w.hi]])
+	} else {
+		for _, i := range w.inboxSlots {
+			st.inbox[i] = nil
+		}
 	}
 	w.inboxSlots = w.inboxSlots[:0]
+	total := 0
+	for _, src := range workers {
+		total += len(src.outbox[self])
+	}
+	// Same 8× density cut-off as the sequential engine's plane swap.
+	if w.denseInbox = 8*total >= int(st.off[w.hi]-st.off[w.lo]); w.denseInbox {
+		for _, src := range workers {
+			for _, sm := range src.outbox[self] {
+				st.inbox[sm.idx] = sm.msg
+			}
+		}
+		return
+	}
 	for _, src := range workers {
 		for _, sm := range src.outbox[self] {
 			st.inbox[sm.idx] = sm.msg
@@ -151,6 +183,7 @@ type engineStateCore struct {
 	inbox          []Message // flat half-edge-indexed message plane
 	shardOf        []int32
 	maxMessageBits int
+	poison         bool // poisoned-Outbox debug check (see debug.go)
 	round          func(v, r int) ([]Message, bool)
 }
 
@@ -170,6 +203,16 @@ type engineStateCore struct {
 // than O(n + m), and no per-node goroutines or per-edge channels are
 // allocated, so the engine scales to million-node graphs where
 // RunConcurrent's goroutine-per-node synchronizer collapses.
+//
+// Two adaptations keep the pool busy across a run's whole lifetime. Per
+// round and per shard, the scatter phase chooses between a staged-slot walk
+// and a whole-window memclr by comparing message count against window size
+// (the same density cut-off as the sequential engine's plane swap), so dense
+// all-active rounds take the vectorized sweep and sparse tail rounds touch
+// only live slots. And each time the live worklist halves, the coordinator
+// re-cuts the shards over the survivors by live half-edge spans
+// (graph.ShardBoundsLive), so the shattering tail — where the initial
+// whole-graph cut would leave most workers idle — stays balanced.
 //
 // Every mutable location has a single writer (the shard owner), phases are
 // separated by barriers, and counters merge over order-independent sums and
@@ -223,6 +266,7 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 		inbox:          st.inbox,
 		shardOf:        shardOf,
 		maxMessageBits: cfg.MaxMessageBits,
+		poison:         st.poison,
 		round:          st.roundFor,
 	}
 
@@ -263,6 +307,65 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 		lifetime.Wait()
 	}
 
+	// reshard re-cuts the shards over the live worklist once the fringe has
+	// halved: the initial whole-graph cut goes stale as nodes halt — one
+	// shard's survivors can dominate every barrier while the other workers
+	// idle — so the coordinator re-balances by *surviving* half-edge spans
+	// (graph.ShardBoundsLive). It runs between rounds, while every worker is
+	// parked on its command channel, so moving worklist entries, node
+	// ownership (shardOf), arena wiring and recorded inbox slots is plain
+	// single-threaded code; the next phase commands publish it to the pool.
+	// Arenas stay with their workers and every arena still rotates once per
+	// round, so payloads carved before the cut remain live exactly as long
+	// as the retention rule promises.
+	liveScratch := make([]int32, 0, st.n)
+	var slotScratch []int32
+	reshard := func(live []int32) {
+		bounds := st.g.ShardBoundsLive(workers, live)
+		// Collect every recorded inbox slot before the windows move; a
+		// worker whose last scatter was dense has no slot list, so scan its
+		// (old) window for survivors.
+		slots := slotScratch[:0]
+		for _, w := range pool {
+			if w.denseInbox {
+				for i := st.off[w.lo]; i < st.off[w.hi]; i++ {
+					if st.inbox[i] != nil {
+						slots = append(slots, int32(i))
+					}
+				}
+				w.denseInbox = false
+			} else {
+				slots = append(slots, w.inboxSlots...)
+			}
+			w.inboxSlots = w.inboxSlots[:0]
+		}
+		slotScratch = slots
+		// Hand out the new node ranges, worklist segments and arenas.
+		li := 0
+		for s, w := range pool {
+			lo, hi := bounds[s], bounds[s+1]
+			w.lo, w.hi = lo, hi
+			seg := w.active[:0]
+			for ; li < len(live) && int(live[li]) < hi; li++ {
+				seg = append(seg, live[li])
+			}
+			w.active = seg
+			for v := lo; v < hi; v++ {
+				shardOf[v] = int32(s)
+			}
+			for _, v := range w.active {
+				st.ctxs[v].arena = w.arena
+			}
+		}
+		// Re-own the surviving inbox slots: slot i belongs to node
+		// adj[rev[i]], so its new owner is one shardOf lookup away.
+		for _, i := range slots {
+			owner := pool[shardOf[st.adjf[st.rev[i]]]]
+			owner.inboxSlots = append(owner.inboxSlots, i)
+		}
+	}
+	lastReshard := st.n
+
 	for r := 0; st.running > 0; r++ {
 		if r >= maxRounds {
 			stop()
@@ -280,9 +383,10 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 			}
 		}
 		runPhase(phaseCmd{phase: phaseScatter, round: r})
-		activeN := 0
+		activeN, liveN := 0, 0
 		for _, w := range pool {
 			activeN += w.activeN
+			liveN += len(w.active)
 			st.running -= w.halted
 			st.messages += w.msgs
 			st.bits += w.bits
@@ -292,6 +396,17 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 		}
 		st.activeTrace = append(st.activeTrace, activeN)
 		st.rounds++
+		// Re-cut the shards each time the worklist has halved; below one
+		// live node per worker the tail is trivial and the cut stops.
+		if liveN >= workers && liveN*2 <= lastReshard {
+			live := liveScratch[:0]
+			for _, w := range pool {
+				live = append(live, w.active...)
+			}
+			liveScratch = live
+			reshard(live)
+			lastReshard = liveN
+		}
 	}
 	stop()
 	return st.result(), nil

@@ -220,6 +220,44 @@ func TestSchedulerEquivalenceWithCtxOutbox(t *testing.T) {
 	}
 }
 
+// TestRunParallelReshardEquivalence drives the re-sharding path hard: the
+// staggered-halting program shrinks the worklist geometrically, so the
+// coordinator re-cuts the shards at every halving (roughly log₂ n times per
+// run), across graphs with skewed degree distributions where the re-cut
+// actually moves boundaries. Results must stay byte-identical to the
+// sequential engine through every cut — including the delivery of messages
+// staged to nodes that changed shards, and the clearing of inbox slots
+// recorded under the old boundaries.
+func TestRunParallelReshardEquivalence(t *testing.T) {
+	rng := prng.New(404)
+	for _, tg := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"powerlaw", graph.PowerLaw(400, 3, rng)},
+		{"gnp", graph.GNPConnected(350, 0.02, rng)},
+		{"two-components", graph.Disjoint(graph.Ring(180), graph.RandomTree(200, rng))},
+	} {
+		t.Run(tg.name, func(t *testing.T) {
+			n := tg.g.N()
+			ids := RandomIDs(n, 3, prng.New(uint64(n)*7+5))
+			cfg := Config{Graph: tg.g, IDs: ids, MaxMessageBits: CongestBits(n)}
+			factory := func(int) NodeProgram[uint64] { return &staggeredHalt{} }
+			want, err := Run(cfg, factory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 3, 8} {
+				got, err := RunParallel(cfg, factory, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertResultsEqual(t, fmt.Sprintf("workers=%d", workers), want, got)
+			}
+		})
+	}
+}
+
 // TestRunParallelSmallNetworks exercises the engine where shards are thinner
 // than the pool: the -race runs in CI hammer these paths.
 func TestRunParallelSmallNetworks(t *testing.T) {

@@ -194,14 +194,26 @@ var (
 var CongestBits = sim.CongestBits
 
 // The varint message codec, for custom node programs that want honest
-// Θ(log x)-bit CONGEST accounting per encoded field.
+// Θ(log x)-bit CONGEST accounting per encoded field. DecodeUintsInto is the
+// allocation-free decoder for fixed-shape messages: pair it with
+// NodeCtx.Broadcast / NodeCtx.Uints to write programs whose steady-state
+// rounds allocate nothing (see README "Memory layout").
 var (
-	AppendUint     = sim.AppendUint
-	Uints          = sim.Uints
-	ReadUint       = sim.ReadUint
-	DecodeUints    = sim.DecodeUints
-	DecodeAllUints = sim.DecodeAllUints
+	AppendUint      = sim.AppendUint
+	Uints           = sim.Uints
+	ReadUint        = sim.ReadUint
+	DecodeUints     = sim.DecodeUints
+	DecodeUintsInto = sim.DecodeUintsInto
+	DecodeAllUints  = sim.DecodeAllUints
 )
+
+// SetDebugOutboxCheck toggles the engines' poisoned-Outbox check: when
+// enabled, a program that returns NodeCtx.Outbox without setting or nilling
+// every port fails the run with a descriptive error instead of silently
+// re-sending a stale message. Off by default (the sentinel fill costs one
+// write per half-edge per round); this repository's test suites switch it
+// on.
+var SetDebugOutboxCheck = sim.SetDebugOutboxCheck
 
 // ID assignment helpers.
 var (

@@ -157,7 +157,10 @@ func TestFacadeCustomNodeProgram(t *testing.T) {
 	}
 }
 
-// hopCounter counts rounds up to a limit — a minimal NodeProgram.
+// hopCounter counts rounds up to a limit — a minimal NodeProgram, written
+// the zero-alloc way: the outbox comes from the engine-owned Outbox scratch
+// (via Broadcast) and the payload from the per-round arena (via ctx.Uints),
+// so its steady-state rounds allocate nothing.
 type hopCounter struct {
 	ctx   *NodeCtx
 	limit int
@@ -170,11 +173,7 @@ func (h *hopCounter) Round(r int, inbox []Message) ([]Message, bool) {
 	if h.count >= h.limit {
 		return nil, true
 	}
-	out := make([]Message, h.ctx.Degree)
-	for i := range out {
-		out[i] = Message{1}
-	}
-	return out, false
+	return h.ctx.Broadcast(h.ctx.Uints(1)), false
 }
 func (h *hopCounter) Output() int { return h.count }
 

@@ -15,10 +15,14 @@
 # BENCH_GATE_THRESHOLD_PCT (or re-record the baseline) when moving the gate
 # to a slower runner class.
 #
-# Usage: scripts/bench_gate.sh [baseline.json] [benchtime]
-#   baseline.json  default BENCH_PR2.json
-#   benchtime      default 1x (each size runs BENCH_COUNT times; the gate
-#                  compares the min, which strips shared-machine noise)
+# Usage: scripts/bench_gate.sh [--baseline baseline.json] [--benchtime 1x]
+#        scripts/bench_gate.sh [baseline.json] [benchtime]
+#   --baseline baseline.json  committed BENCH_PR*.json to gate against
+#                             (default BENCH_PR3.json — bump this when a PR
+#                             records a new baseline)
+#   --benchtime 1x            go test -benchtime value; each size runs
+#                             BENCH_COUNT times and the gate compares the
+#                             min, which strips shared-machine noise
 # Env:
 #   BENCH_GATE_THRESHOLD_PCT  allowed regression per metric (default 15)
 #   BENCH_COUNT               runs per benchmark to take the min of (default 3)
@@ -26,8 +30,35 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 . scripts/bench_lib.sh
 
-BASELINE="${1:-BENCH_PR2.json}"
-BENCHTIME="${2:-1x}"
+BASELINE="BENCH_PR3.json"
+BENCHTIME="1x"
+positional=0
+while [ $# -gt 0 ]; do
+	case "$1" in
+	--baseline)
+		BASELINE="${2:?bench_gate: --baseline requires a value}"
+		shift 2
+		;;
+	--benchtime)
+		BENCHTIME="${2:?bench_gate: --benchtime requires a value}"
+		shift 2
+		;;
+	-h | --help)
+		sed -n '2,/^set -euo/p' "$0" | sed '$d' | sed 's/^# \{0,1\}//'
+		exit 0
+		;;
+	--*)
+		echo "bench_gate: unknown option $1 (see --help)" >&2
+		exit 2
+		;;
+	*)
+		# Positional compatibility: baseline first, then benchtime.
+		if [ "$positional" -eq 0 ]; then BASELINE="$1"; else BENCHTIME="$1"; fi
+		positional=$((positional + 1))
+		shift
+		;;
+	esac
+done
 THRESHOLD="${BENCH_GATE_THRESHOLD_PCT:-15}"
 export BENCH_COUNT="${BENCH_COUNT:-3}"
 OUT="BENCH_FRESH.json"

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# bench_pr4.sh — record the zero-alloc messaging + adaptive engine trajectory.
+#
+# Emits BENCH_PR4.json at the repo root. Three stories in one document:
+#
+#   * BenchmarkENDecomp rows measure the *algorithm-program* migration: the
+#     Elkin–Neiman node program used to heap-allocate an outbox and decode
+#     slices for every message, so its allocs/op scaled with message count.
+#     The baseline rows were recorded at the pre-migration commit 128a373
+#     with the identical benchmark (GNP deg 6, RadiusCap 8, -benchtime 1x on
+#     the same machine class).
+#   * BenchmarkRun / BenchmarkRunStaggered / BenchmarkRunParallel rows carry
+#     the committed BENCH_PR3.json baselines. Their allocs/op drop reflects
+#     the slab-factory construction idiom these benchmarks now demonstrate
+#     (one program slab instead of n per-node allocations — the last
+#     n-proportional allocation class); their ns/op must NOT regress, which
+#     is what gates the adaptive-delivery and re-sharding engine changes on
+#     the dense all-active rows.
+#   * BenchmarkRunParallelStaggered rows are new (no baseline): the
+#     late-round-dominated workload on the worker pool, i.e. the dynamic
+#     re-sharding path, recorded to seed the next PR's comparison.
+#
+# Usage: scripts/bench_pr4.sh [benchtime]   (default 2x, matching the
+#                                            BENCH_PR3.json recording so the
+#                                            first-iteration cold start is
+#                                            amortized identically; the 2^20
+#                                            EN row runs ~1 min per op)
+# Env:   BENCH_COUNT  runs per benchmark; the min is recorded (default 3,
+#                     stripping shared-machine noise like the CI gate does)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+. scripts/bench_lib.sh
+
+BENCHTIME="${1:-2x}"
+export BENCH_COUNT="${BENCH_COUNT:-3}"
+OUT="BENCH_PR4.json"
+
+# Pre-migration Elkin–Neiman rows (commit 128a373): "name ns allocs bytes".
+PRE_MIGRATION_EN="BenchmarkENDecomp/n=65536 10140726498 82783280 2895976376
+BenchmarkENDecomp/n=1048576 219842720828 1351572607 46646308200"
+
+BASELINES="$(baselines_from_json BENCH_PR3.json)
+$PRE_MIGRATION_EN"
+
+run_benchmarks_isolated "$BENCHTIME" \
+	'BenchmarkRun$/^n=65536$' 'BenchmarkRun$/^n=1048576$' \
+	'BenchmarkRunStaggered$/^n=65536$' 'BenchmarkRunStaggered$/^n=1048576$' \
+	'BenchmarkRunParallel$/^n=65536$' 'BenchmarkRunParallel$/^n=1048576$' \
+	'BenchmarkRunParallelStaggered$/^n=65536$' 'BenchmarkRunParallelStaggered$/^n=1048576$' \
+	'BenchmarkENDecomp$/^n=65536$' 'BenchmarkENDecomp$/^n=1048576$' |
+	min_over_runs |
+	bench_to_json "zero-alloc programs + adaptive delivery + re-sharding; EN baseline = pre-migration commit 128a373, engine baselines = BENCH_PR3.json; min of $BENCH_COUNT runs" "$BENCHTIME" "$BASELINES" > "$OUT"
+
+echo "wrote $OUT"
