@@ -1,8 +1,9 @@
 package randlocal
 
-// One benchmark per experiment in EXPERIMENTS.md (E1..E9; the paper has no
+// One benchmark per experiment in EXPERIMENTS.md (the paper has no
 // empirical tables of its own, so each benchmark regenerates the measured
-// side of one theorem's claim — see DESIGN.md §3 for the mapping). Run:
+// side of one theorem's claim; EXPERIMENTS.md maps experiments to
+// theorems). Run:
 //
 //	go test -bench=. -benchmem
 //
@@ -239,8 +240,8 @@ func BenchmarkE9Ledger(b *testing.B) {
 }
 
 // BenchmarkEngine compares the deterministic sequential scheduler with the
-// goroutine-per-node α-synchronizer on the same program — the ablation
-// DESIGN.md calls out.
+// goroutine-per-node α-synchronizer on the same program — the E10
+// engine ablation.
 func BenchmarkEngine(b *testing.B) {
 	g := GNPConnected(512, 4.0/512, NewRNG(10))
 	cfgOf := func(seed uint64) SimConfig {
@@ -500,9 +501,10 @@ func BenchmarkRunParallel(b *testing.B) {
 
 // BenchmarkRunParallelStaggered puts the worker pool on the late-round-
 // dominated workload: the live worklist halves round after round, so this
-// is the row that exercises dynamic re-sharding (the coordinator re-cuts
-// the shards over the survivors at every halving) together with the
-// adaptive dense/sparse scatter.
+// is the row that exercises dynamic re-sharding (under the default
+// cost-model policy, which re-cuts when the observed barrier imbalance has
+// out-cost a measured re-cut) together with the adaptive dense/sparse
+// scatter.
 func BenchmarkRunParallelStaggered(b *testing.B) {
 	for _, n := range []int{1 << 16, 1 << 20} {
 		for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
@@ -520,5 +522,28 @@ func BenchmarkRunParallelStaggered(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkRunParallelStaggeredPolicy A/Bs the re-shard policies on the
+// same workload: the cost-model default against the fixed halving rule and
+// no re-sharding at all. The Result is byte-identical across rows (asserted
+// by the equivalence suite) — only the wall clock may differ, which is the
+// point of keeping the overrides.
+func BenchmarkRunParallelStaggeredPolicy(b *testing.B) {
+	n := 1 << 16
+	g := benchEngineGraph(n)
+	for _, policy := range []ReshardPolicy{ReshardAdaptive, ReshardHalving, ReshardOff} {
+		b.Run(fmt.Sprintf("n=%d/policy=%v", n, policy), func(b *testing.B) {
+			cfg := SimConfig{Graph: g, MaxMessageBits: CongestBits(n), Reshard: policy}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := RunParallel(cfg, staggeredSlabFactory(n), 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Messages), "msgs")
+			}
+		})
 	}
 }

@@ -47,6 +47,8 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	scheduler := fs.String("scheduler", "sequential", "simulation engine: sequential | concurrent | parallel")
 	workers := fs.Int("workers", 0, "worker-pool size for -scheduler parallel (0 = GOMAXPROCS)")
+	reshard := fs.String("reshard", "adaptive", "parallel re-shard policy: adaptive | halving | off")
+	telemetry := fs.Bool("telemetry", false, "collect per-round scheduling telemetry; prints a summary for the single-simulation algorithms (en, luby, coloring)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,7 +56,16 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	policy, err := sim.ParseReshardPolicy(*reshard)
+	if err != nil {
+		return err
+	}
 	sim.SetDefaultScheduler(sched, *workers)
+	sim.SetDefaultReshard(policy)
+	sim.SetTelemetry(*telemetry)
+	if *telemetry {
+		defer sim.SetTelemetry(false)
+	}
 
 	rng := prng.New(*seed)
 	var g *graph.Graph
@@ -91,6 +102,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		printTelemetry(res.Telemetry)
 		return reportDecomp(g, d, "Elkin–Neiman",
 			fmt.Sprintf("rounds=%d messages=%d maxMsgBits=%d trueBits=%d",
 				res.Rounds, res.Messages, res.MaxMessageBits, src.Ledger().TrueBits()))
@@ -178,6 +190,7 @@ func run(args []string) error {
 				size++
 			}
 		}
+		printTelemetry(res.Telemetry)
 		fmt.Printf("Luby MIS: valid, |MIS|=%d rounds=%d trueBits=%d\n", size, res.Rounds, src.Ledger().TrueBits())
 		return nil
 	case "coloring":
@@ -189,6 +202,7 @@ func run(args []string) error {
 		if err := check.Coloring(g, colors, g.MaxDegree()+1); err != nil {
 			return fmt.Errorf("invalid coloring: %w", err)
 		}
+		printTelemetry(res.Telemetry)
 		fmt.Printf("Randomized (Δ+1)-coloring: valid, Δ+1=%d rounds=%d trueBits=%d\n",
 			g.MaxDegree()+1, res.Rounds, src.Ledger().TrueBits())
 		return nil
@@ -216,6 +230,55 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
+}
+
+// printTelemetry summarizes a run's telemetry record when -telemetry
+// enabled collection: pool shape, round count, the compute-time imbalance
+// the adaptive re-shard policy watches, the delivery-mode split, and every
+// re-shard event.
+func printTelemetry(tel *sim.Telemetry) {
+	if tel == nil {
+		return
+	}
+	var computeNS, idleNS, wallNS int64
+	dense, sparse := 0, 0
+	for _, rs := range tel.Rounds {
+		wallNS += rs.WallNS
+		var maxC int64
+		for _, c := range rs.ComputeNS {
+			computeNS += c
+			if c > maxC {
+				maxC = c
+			}
+		}
+		idleNS += maxC*int64(tel.Workers) - sumInt64(rs.ComputeNS)
+		for _, m := range rs.Mode {
+			switch m {
+			case sim.DeliverDense:
+				dense++
+			case sim.DeliverSparse:
+				sparse++
+			}
+		}
+	}
+	fmt.Printf("telemetry: scheduler=%v workers=%d rounds=%d wall=%.1fms compute=%.1fms barrier-idle=%.1fms\n",
+		tel.Scheduler, tel.Workers, len(tel.Rounds),
+		float64(wallNS)/1e6, float64(computeNS)/1e6, float64(idleNS)/1e6)
+	if dense+sparse > 0 {
+		fmt.Printf("telemetry: delivery modes: %d dense / %d sparse (per worker-round)\n", dense, sparse)
+	}
+	for _, ev := range tel.Reshards {
+		fmt.Printf("telemetry: reshard after round %d over %d live nodes (cost %.2fms, imbalance debt %.2fms)\n",
+			ev.Round, ev.Live, float64(ev.CostNS)/1e6, float64(ev.WasteNS)/1e6)
+	}
+}
+
+func sumInt64(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
 }
 
 func reportDecomp(g *graph.Graph, d *decomp.Decomposition, name, extra string) error {

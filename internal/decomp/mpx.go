@@ -14,8 +14,8 @@ import (
 // shift δ_v and node u joins the cluster of the v minimizing
 // dist(u, v) − δ_v. The result is a *partition* into low-diameter clusters
 // where each edge is cut with probability O(log n / diameter-budget) — not
-// yet a colored decomposition. It is included as the ablation DESIGN.md
-// calls for: the experiments compare EN's phase-by-phase carving against
+// yet a colored decomposition. It is included for the E10 ablation:
+// the experiments compare EN's phase-by-phase carving against
 // chaining MPX partitions.
 
 // MPXResult is a random-shift partition together with its quality numbers.

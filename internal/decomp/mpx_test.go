@@ -78,7 +78,7 @@ func TestMPXDeterministicGivenSeed(t *testing.T) {
 }
 
 func TestMPXVsENAblation(t *testing.T) {
-	// DESIGN.md ablation: chaining MPX clusters consumes more colors than
+	// E10 ablation: chaining MPX clusters consumes more colors than
 	// EN's gap rule but each pass is a single flood. Sanity-compare round
 	// costs on the same graph.
 	g := graph.GNPConnected(512, 4.0/512, prng.New(21))

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"randlocal/internal/check"
+	"randlocal/internal/decomp"
+	"randlocal/internal/graph"
+	"randlocal/internal/mis"
+	"randlocal/internal/prng"
+	"randlocal/internal/randomness"
+)
+
+// E11 is the engine-scale sweep the zero-alloc work unlocked: the paper's
+// headline claims are asymptotic, so the round/bit columns are recorded as
+// *curves* over n up to 2^22 — together with the per-round live-fringe
+// trajectory (Result.ActivePerRound), whose geometric collapse is the
+// shattering-tail shape the Theorem 4.2 analyses reason about. Each record
+// keeps its full ActivePerRound curve in the JSON emission.
+
+var e11Units = []string{"EN/gnp(4/n)", "Luby/gnp(4/n)"}
+
+func e11Sizes(opt Options) []int {
+	if opt.Quick {
+		return []int{1 << 10, 1 << 12}
+	}
+	return []int{1 << 16, 1 << 18, 1 << 20, 1 << 22}
+}
+
+func e11Trials(opt Options, n int) int {
+	if opt.Quick {
+		return 1
+	}
+	if n >= 1<<20 {
+		return 1 // one trial per run at engine scale; resume adds more
+	}
+	return 2
+}
+
+// e11RadiusCap matches BenchmarkENDecomp: capping the geometric radius draw
+// at 8 keeps a phase at 10 rounds so the 2^20+ sweeps stay tractable while
+// the message pattern (top-2 candidate floods on every live port) matches
+// the real construction.
+const e11RadiusCap = 8
+
+var E11 = &Experiment{
+	ID:    "E11",
+	Title: "Scale sweep to n = 2^22: round/bit scaling and the shattering tail",
+	Claim: "rounds/log² n (EN) and rounds/log n (Luby) stay flat to n = 2^22; ActivePerRound collapses geometrically (the shattering tail)",
+	Specs: func(opt Options) []RunSpec {
+		var specs []RunSpec
+		for _, n := range e11Sizes(opt) {
+			for _, unit := range e11Units {
+				for t := 0; t < e11Trials(opt, n); t++ {
+					specs = append(specs, RunSpec{Experiment: "E11", Unit: unit, N: n, Trial: t})
+				}
+			}
+		}
+		return specs
+	},
+	Run: func(opt Options, spec RunSpec) *RunRecord {
+		rec := newRecord(spec)
+		seed := spec.Seed(opt.Seed)
+		n := spec.N
+		g := graph.GNPConnected(n, 4.0/float64(n), prng.New(seed))
+		switch {
+		case strings.HasPrefix(spec.Unit, "EN/"):
+			d, res, err := decomp.ElkinNeiman(g, randomness.NewFull(seed+1), nil, decomp.ENConfig{RadiusCap: e11RadiusCap})
+			if err != nil {
+				return rec.fail(err.Error())
+			}
+			if err := d.Validate(g, 0, 0); err != nil {
+				return rec.fail(err.Error())
+			}
+			st := d.StatsOf(g)
+			rec.set("colors", float64(st.Colors))
+			rec.set("diam", float64(st.MaxDiameter))
+			rec.set("rounds", float64(res.Rounds))
+			rec.set("messages", float64(res.Messages))
+			rec.set("bits", float64(res.BitsTotal))
+			rec.set("maxMsgBits", float64(res.MaxMessageBits))
+			rec.Curve = res.ActivePerRound
+		case strings.HasPrefix(spec.Unit, "Luby/"):
+			in, res, err := mis.Luby(g, randomness.NewFull(seed+1), nil, mis.LubyConfig{})
+			if err != nil {
+				return rec.fail(err.Error())
+			}
+			if err := check.MIS(g, in); err != nil {
+				return rec.fail(err.Error())
+			}
+			rec.set("rounds", float64(res.Rounds))
+			rec.set("messages", float64(res.Messages))
+			rec.set("bits", float64(res.BitsTotal))
+			rec.set("maxMsgBits", float64(res.MaxMessageBits))
+			rec.Curve = res.ActivePerRound
+		default:
+			return rec.fail("unknown unit " + spec.Unit)
+		}
+		// Tail shape: the first round where the live fringe is at or below
+		// 1% of n, and how many rounds the run then spends in that tail.
+		tailStart := len(rec.Curve)
+		for r, a := range rec.Curve {
+			if a*100 <= n {
+				tailStart = r
+				break
+			}
+		}
+		rec.set("tailStart", float64(tailStart))
+		rec.set("tailRounds", float64(len(rec.Curve)-tailStart))
+		return rec
+	},
+	Table: func(opt Options, rep *Report) *Table {
+		t := tableFor("E11", []string{"algo", "n", "rounds", "rnds/lg", "rnds/lg²", "messages", "bits/node", "maxMsg", "act≤1%@r", "tail", "trials", "failures"})
+		for _, unit := range e11Units {
+			algo := unit[:strings.IndexByte(unit, '/')]
+			for _, n := range e11Sizes(opt) {
+				recs := rep.trialsOf("E11", unit, n, e11Trials(opt, n))
+				if len(recs) == 0 {
+					continue
+				}
+				r := summarize(collect(recs, "rounds"))
+				msgs := summarize(collect(recs, "messages"))
+				bits := summarize(collect(recs, "bits"))
+				maxMsg := summarize(collect(recs, "maxMsgBits"))
+				tailStart := summarize(collect(recs, "tailStart"))
+				tailRounds := summarize(collect(recs, "tailRounds"))
+				t.AddRow(algo, itoa(n), d0(r.mean),
+					fmt.Sprintf("%.2f", r.mean/lg2(n)),
+					fmt.Sprintf("%.2f", r.mean/(lg2(n)*lg2(n))),
+					d0(msgs.mean), f1(bits.mean/float64(n)), d0(maxMsg.max),
+					d0(tailStart.mean), d0(tailRounds.mean), itoa(len(recs)), itoa(failures(recs)))
+			}
+		}
+		// Shattering-tail curves: the largest size's live-fringe
+		// trajectory, downsampled to at most 24 points per unit.
+		for _, unit := range e11Units {
+			ns := e11Sizes(opt)
+			big := ns[len(ns)-1]
+			rec := rep.Get("E11", unit, big, 0)
+			if rec == nil || len(rec.Curve) == 0 {
+				continue
+			}
+			t.Notes = append(t.Notes, fmt.Sprintf("ActivePerRound %s n=%d (every %d rounds): %s",
+				unit, big, sampleStep(len(rec.Curve), 24), sparkline(rec.Curve, 24)))
+		}
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("EN runs with RadiusCap=%d (the BenchmarkENDecomp setting) so a phase is %d rounds; the scaling columns compare like against like across n", e11RadiusCap, e11RadiusCap+2),
+			"full per-round curves for every record are in the JSON emission (active_per_round)")
+		return t
+	},
+}
+
+// sampleStep returns the stride that downsamples length points to at most
+// maxPoints.
+func sampleStep(length, maxPoints int) int {
+	step := (length + maxPoints - 1) / maxPoints
+	if step < 1 {
+		step = 1
+	}
+	return step
+}
+
+// sparkline renders a curve as a short series of sampled counts.
+func sparkline(curve []int, maxPoints int) string {
+	step := sampleStep(len(curve), maxPoints)
+	var b strings.Builder
+	for i := 0; i < len(curve); i += step {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", curve[i])
+	}
+	if (len(curve)-1)%step != 0 {
+		fmt.Fprintf(&b, " %d", curve[len(curve)-1])
+	}
+	return b.String()
+}

@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stubExperiment is a tiny deterministic experiment for pipeline tests:
+// 2 units × 2 sizes × 2 trials, each record a pure function of its spec
+// seed, with a curve to exercise the ActivePerRound emission path.
+func stubExperiment() *Experiment {
+	return &Experiment{
+		ID:    "S1",
+		Title: "pipeline stub",
+		Claim: "records are a pure function of the spec",
+		Specs: func(opt Options) []RunSpec {
+			var specs []RunSpec
+			for _, unit := range []string{"alpha", "beta"} {
+				for _, n := range []int{8, 16} {
+					for tr := 0; tr < 2; tr++ {
+						specs = append(specs, RunSpec{Experiment: "S1", Unit: unit, N: n, Trial: tr})
+					}
+				}
+			}
+			return specs
+		},
+		Run: func(opt Options, spec RunSpec) *RunRecord {
+			rec := newRecord(spec)
+			seed := spec.Seed(opt.Seed)
+			rec.set("value", float64(seed%1000))
+			rec.set("n", float64(spec.N))
+			rec.Curve = []int{spec.N, spec.N / 2, 1}
+			return rec
+		},
+		Table: func(opt Options, rep *Report) *Table {
+			t := &Table{ID: "S1", Title: "stub", Claim: "stub", Columns: []string{"unit", "n", "value"}}
+			for _, unit := range []string{"alpha", "beta"} {
+				for _, n := range []int{8, 16} {
+					for _, rec := range rep.trialsOf("S1", unit, n, 2) {
+						t.AddRow(unit, itoa(n), d0(rec.val("value")))
+					}
+				}
+			}
+			return t
+		},
+	}
+}
+
+func runStub(t *testing.T, runner *Runner) *Report {
+	t.Helper()
+	rep, err := runner.Run([]*Experiment{stubExperiment()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestPipelineEmission checks the output files of a complete run: a valid
+// records.json, a parseable long-format CSV with one row per (record,
+// metric), and a checkpoint journal with a header plus one line per record.
+func TestPipelineEmission(t *testing.T) {
+	dir := t.TempDir()
+	rep := runStub(t, &Runner{Opt: Options{Seed: 7}, OutDir: dir})
+	if !rep.Complete() || rep.Ran != 8 || rep.Resumed != 0 {
+		t.Fatalf("fresh run: ran %d resumed %d complete %v", rep.Ran, rep.Resumed, rep.Complete())
+	}
+	rs, err := LoadRecordSet(filepath.Join(dir, recordsJSONFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Records) != 8 {
+		t.Fatalf("records.json holds %d records", len(rs.Records))
+	}
+	for _, rec := range rs.Records {
+		if len(rec.Curve) != 3 {
+			t.Errorf("record %s lost its curve", rec.Spec.Key())
+		}
+	}
+	cf, err := os.Open(filepath.Join(dir, recordsCSVFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	rows, err := csv.NewReader(cf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHeader := "experiment,unit,n,trial,ok,metric,value"
+	if got := strings.Join(rows[0], ","); got != wantHeader {
+		t.Errorf("csv header %q, want %q", got, wantHeader)
+	}
+	if len(rows) != 1+8*2 { // 2 metrics per record
+		t.Errorf("csv rows = %d, want %d", len(rows), 1+8*2)
+	}
+	ckpt, err := os.ReadFile(filepath.Join(dir, checkpointFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(strings.TrimRight(string(ckpt), "\n"), "\n") + 1; lines != 1+8 {
+		t.Errorf("checkpoint lines = %d, want header + 8 records", lines)
+	}
+}
+
+// TestPipelineCheckpointResume is the write → stop → resume → compare
+// round-trip: a -limit interrupted run plus a resume must reproduce exactly
+// the records of an uninterrupted run (stable fields).
+func TestPipelineCheckpointResume(t *testing.T) {
+	full := runStub(t, &Runner{Opt: Options{Seed: 7}, OutDir: t.TempDir()})
+
+	dir := t.TempDir()
+	part := runStub(t, &Runner{Opt: Options{Seed: 7}, OutDir: dir, Limit: 3})
+	if !part.LimitHit || part.Ran != 3 || part.Complete() {
+		t.Fatalf("limit run: ran %d, limitHit %v, complete %v", part.Ran, part.LimitHit, part.Complete())
+	}
+	if _, err := os.Stat(filepath.Join(dir, recordsJSONFile)); !os.IsNotExist(err) {
+		t.Error("interrupted run emitted records.json")
+	}
+
+	resumed := runStub(t, &Runner{Opt: Options{Seed: 7}, OutDir: dir})
+	if resumed.Resumed != 3 || resumed.Ran != 5 || !resumed.Complete() {
+		t.Fatalf("resume: resumed %d ran %d complete %v", resumed.Resumed, resumed.Ran, resumed.Complete())
+	}
+	diffs, err := DiffStable(full.RecordSet(), resumed.RecordSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Errorf("resumed run differs from uninterrupted run: %v", diffs)
+	}
+}
+
+// TestPipelineTornCheckpoint simulates a kill mid-append: the journal's
+// last line is truncated. Resume must drop the torn record, re-run it, and
+// still converge to the uninterrupted result.
+func TestPipelineTornCheckpoint(t *testing.T) {
+	full := runStub(t, &Runner{Opt: Options{Seed: 7}, OutDir: t.TempDir()})
+
+	dir := t.TempDir()
+	runStub(t, &Runner{Opt: Options{Seed: 7}, OutDir: dir, Limit: 4})
+	path := filepath.Join(dir, checkpointFile)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-17], 0o644); err != nil { // tear the last record
+		t.Fatal(err)
+	}
+
+	// First resume appends after the tear: it must terminate the torn line
+	// first, so the record it appends stays parseable by later resumes.
+	partial := runStub(t, &Runner{Opt: Options{Seed: 7}, OutDir: dir, Limit: 1})
+	if partial.Resumed != 3 || partial.Ran != 1 {
+		t.Fatalf("post-tear limited resume: resumed %d ran %d", partial.Resumed, partial.Ran)
+	}
+	resumed := runStub(t, &Runner{Opt: Options{Seed: 7}, OutDir: dir})
+	if resumed.Resumed != 4 {
+		t.Errorf("resumed %d records; the record appended after the torn tail was lost", resumed.Resumed)
+	}
+	if !resumed.Complete() {
+		t.Fatal("resume did not complete")
+	}
+	diffs, err := DiffStable(full.RecordSet(), resumed.RecordSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Errorf("torn-checkpoint resume differs: %v", diffs)
+	}
+}
+
+// TestPipelineCheckpointOptionMismatch: resuming under different options
+// must refuse rather than silently mix incompatible records.
+func TestPipelineCheckpointOptionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	runStub(t, &Runner{Opt: Options{Seed: 7}, OutDir: dir, Limit: 2})
+	_, err := (&Runner{Opt: Options{Seed: 8}, OutDir: dir}).Run([]*Experiment{stubExperiment()})
+	if err == nil || !strings.Contains(err.Error(), "checkpointed with") {
+		t.Fatalf("seed mismatch not rejected: %v", err)
+	}
+	_, err = (&Runner{Opt: Options{Seed: 7, Quick: true}, OutDir: dir}).Run([]*Experiment{stubExperiment()})
+	if err == nil {
+		t.Fatal("quick mismatch not rejected")
+	}
+}
+
+// TestPipelinePoolDeterminism: a wide trial pool must produce stably
+// identical records to a serial run — specs own their seeds, so execution
+// order cannot matter.
+func TestPipelinePoolDeterminism(t *testing.T) {
+	serial := runStub(t, &Runner{Opt: Options{Seed: 7}, Jobs: 1})
+	pooled := runStub(t, &Runner{Opt: Options{Seed: 7}, Jobs: 8})
+	diffs, err := DiffStable(serial.RecordSet(), pooled.RecordSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Errorf("pooled run differs from serial run: %v", diffs)
+	}
+}
+
+// TestPipelineRealExperimentResume runs a real (quick) experiment through
+// the interruption round-trip, so determinism of the actual experiment code
+// — not just the stub — is held to the resume contract.
+func TestPipelineRealExperimentResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real trials")
+	}
+	opt := Options{Quick: true, Seed: 3}
+	exps := []*Experiment{E5}
+	full, err := (&Runner{Opt: opt}).Run(exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := (&Runner{Opt: opt, OutDir: dir, Limit: 2}).Run(exps); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := (&Runner{Opt: opt, OutDir: dir}).Run(exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs, err := DiffStable(full.RecordSet(), resumed.RecordSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Errorf("real-experiment resume differs: %v", diffs)
+	}
+}
+
+// TestRecordValidate exercises the schema checks -validate relies on.
+func TestRecordValidate(t *testing.T) {
+	good := newRecord(RunSpec{Experiment: "E1", Unit: "ring", N: 8, Trial: 0}).set("x", 1)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid record rejected: %v", err)
+	}
+	bad := *good
+	bad.Schema = 99
+	if (&bad).Validate() == nil {
+		t.Error("wrong schema accepted")
+	}
+	bad = *good
+	bad.Spec.Unit = ""
+	if (&bad).Validate() == nil {
+		t.Error("empty unit accepted")
+	}
+	bad = *good
+	bad.OK = false
+	if (&bad).Validate() == nil {
+		t.Error("failure without reason accepted")
+	}
+	bad = *good
+	bad.Values = map[string]float64{"nan": nan()}
+	if (&bad).Validate() == nil {
+		t.Error("non-finite value accepted")
+	}
+	// Duplicate keys are a set-level error.
+	rs := &RecordSet{Schema: RecordSchema, Records: []*RunRecord{good, good}}
+	if rs.Validate() == nil {
+		t.Error("duplicate records accepted")
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+func TestDiffStable(t *testing.T) {
+	mk := func(v float64) *RecordSet {
+		rec := newRecord(RunSpec{Experiment: "E1", Unit: "u", N: 4, Trial: 0}).set("x", v)
+		rec.ElapsedNS = int64(v * 1e6) // must be ignored
+		return &RecordSet{Schema: RecordSchema, Seed: 1, Records: []*RunRecord{rec}}
+	}
+	if diffs, err := DiffStable(mk(1), mk(1)); err != nil || len(diffs) != 0 {
+		t.Errorf("identical sets diff: %v %v", diffs, err)
+	}
+	if diffs, _ := DiffStable(mk(1), mk(2)); len(diffs) != 1 {
+		t.Errorf("value change missed: %v", diffs)
+	}
+	a := mk(1)
+	a.Records[0].ElapsedNS = 999 // wall time must not matter
+	if diffs, _ := DiffStable(a, mk(1)); len(diffs) != 0 {
+		t.Errorf("elapsed time treated as stable: %v", diffs)
+	}
+	b := mk(1)
+	b.Seed = 2
+	if _, err := DiffStable(a, b); err == nil {
+		t.Error("option mismatch not rejected")
+	}
+	var missing string
+	c := mk(1)
+	c.Records = nil
+	if diffs, _ := DiffStable(a, c); len(diffs) == 1 {
+		missing = diffs[0]
+	}
+	if !strings.Contains(missing, "only in first set") {
+		t.Errorf("missing record not reported: %q", missing)
+	}
+}

@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// RecordSchema is the format version stamped on every emitted RunRecord;
+// consumers (the -validate CLI mode, the CI smoke job) reject records whose
+// version they do not know.
+const RecordSchema = 1
+
+// RunSpec identifies one unit of experimental work: one trial of one
+// experiment's unit (a graph family, a parameter setting, a probe) at one
+// size. Specs are the pipeline's checkpoint granularity — a completed spec
+// is never re-run on resume — and the sole source of a trial's randomness:
+// Seed derives the trial's seed from the spec's identity alone, so records
+// are independent of execution order and of which trials ran in the same
+// process.
+type RunSpec struct {
+	// Experiment is the experiment ID, e.g. "E1".
+	Experiment string `json:"experiment"`
+	// Unit names the row group within the experiment: a graph family
+	// ("gnp(4/n)"), a parameter setting ("phases=2"), or a probe label.
+	Unit string `json:"unit"`
+	// N is the instance size the unit is swept over (0 when the unit has
+	// a single fixed size of its own).
+	N int `json:"n"`
+	// Trial indexes independent repetitions of the same (Experiment,
+	// Unit, N).
+	Trial int `json:"trial"`
+}
+
+// Key is the spec's unique identity, used for checkpoint lookups.
+func (s RunSpec) Key() string {
+	return s.Experiment + "|" + s.Unit + "|" + strconv.Itoa(s.N) + "|" + strconv.Itoa(s.Trial)
+}
+
+// Seed derives the spec's deterministic random seed from the master seed:
+// an FNV-1a hash of the key mixed with the master, so every (experiment,
+// unit, size, trial) owns an independent stream no matter when or where it
+// runs.
+func (s RunSpec) Seed(master uint64) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, s.Key())
+	return h.Sum64() ^ (master * 0x9e3779b97f4a7c15)
+}
+
+// instanceSeed derives the seed shared by every trial of the same
+// (experiment, unit, size): experiments that fix one instance per unit and
+// repeat randomized solving trials over it draw the instance from this and
+// the per-trial randomness from Seed.
+func (s RunSpec) instanceSeed(master uint64) uint64 {
+	return RunSpec{Experiment: s.Experiment, Unit: s.Unit, N: s.N}.Seed(master)
+}
+
+// sharedSeed derives a seed shared by every unit of the experiment at the
+// same size, under a neutral label: experiments that compare several
+// regimes *on the same instance* (E3's splitting instance across
+// randomness budgets, E8's graph across MIS and coloring) build the
+// instance from this, so the comparison stays controlled while per-trial
+// randomness still comes from Seed.
+func (s RunSpec) sharedSeed(master uint64, label string) uint64 {
+	return RunSpec{Experiment: s.Experiment, Unit: label, N: s.N}.Seed(master)
+}
+
+// RunRecord is the measured outcome of one RunSpec — the pipeline's unit of
+// checkpointing, emission and aggregation.
+type RunRecord struct {
+	// Schema is the record format version (RecordSchema).
+	Schema int `json:"schema"`
+	// Spec identifies what was run.
+	Spec RunSpec `json:"spec"`
+	// OK reports whether the trial met its experiment's validity check;
+	// Err carries the failure reason when it did not abort silently.
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+	// Values holds the trial's named scalar measurements (rounds, colors,
+	// bits, ...); each experiment's Table function knows its own keys.
+	Values map[string]float64 `json:"values,omitempty"`
+	// Curve is the live-fringe trajectory (Result.ActivePerRound) for
+	// experiments that record it — the shattering-tail shape.
+	Curve []int `json:"active_per_round,omitempty"`
+	// ElapsedNS is the trial's wall time. It is measurement metadata:
+	// excluded from resume-equality comparison (see EqualStable).
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// newRecord starts a successful record for spec; Run functions flip OK off
+// via fail.
+func newRecord(spec RunSpec) *RunRecord {
+	return &RunRecord{Schema: RecordSchema, Spec: spec, OK: true, Values: map[string]float64{}}
+}
+
+// set stores one named measurement.
+func (r *RunRecord) set(name string, v float64) *RunRecord {
+	r.Values[name] = v
+	return r
+}
+
+// fail marks the record failed with a reason.
+func (r *RunRecord) fail(reason string) *RunRecord {
+	r.OK = false
+	r.Err = reason
+	return r
+}
+
+// val returns a named measurement (0 when absent).
+func (r *RunRecord) val(name string) float64 { return r.Values[name] }
+
+// Validate checks the record's schema: version, a well-formed spec, finite
+// values. It is what the -validate CLI mode and the CI smoke job run over
+// every emitted record.
+func (r *RunRecord) Validate() error {
+	if r.Schema != RecordSchema {
+		return fmt.Errorf("record %s: schema %d, want %d", r.Spec.Key(), r.Schema, RecordSchema)
+	}
+	if r.Spec.Experiment == "" || r.Spec.Unit == "" {
+		return fmt.Errorf("record %q: empty experiment or unit", r.Spec.Key())
+	}
+	if r.Spec.N < 0 || r.Spec.Trial < 0 {
+		return fmt.Errorf("record %s: negative size or trial", r.Spec.Key())
+	}
+	if !r.OK && r.Err == "" {
+		return fmt.Errorf("record %s: failed without a reason", r.Spec.Key())
+	}
+	for k, v := range r.Values {
+		if k == "" {
+			return fmt.Errorf("record %s: empty value name", r.Spec.Key())
+		}
+		if v != v || v > 1e300 || v < -1e300 {
+			return fmt.Errorf("record %s: value %q = %v is not finite", r.Spec.Key(), k, v)
+		}
+	}
+	for i, a := range r.Curve {
+		if a < 0 {
+			return fmt.Errorf("record %s: active_per_round[%d] = %d < 0", r.Spec.Key(), i, a)
+		}
+	}
+	if r.ElapsedNS < 0 {
+		return fmt.Errorf("record %s: negative elapsed time", r.Spec.Key())
+	}
+	return nil
+}
+
+// EqualStable reports whether two records agree on everything a re-run must
+// reproduce — spec, outcome and measurements — ignoring wall-clock metadata.
+// It is the comparison the checkpoint-resume round-trip check uses.
+func (r *RunRecord) EqualStable(o *RunRecord) bool {
+	if r.Spec != o.Spec || r.OK != o.OK || r.Err != o.Err {
+		return false
+	}
+	if len(r.Values) != len(o.Values) || len(r.Curve) != len(o.Curve) {
+		return false
+	}
+	for k, v := range r.Values {
+		ov, ok := o.Values[k]
+		if !ok || ov != v {
+			return false
+		}
+	}
+	for i, a := range r.Curve {
+		if o.Curve[i] != a {
+			return false
+		}
+	}
+	return true
+}
+
+// RecordSet is an emitted collection of records plus the run metadata needed
+// to reproduce it — the content of records.json.
+type RecordSet struct {
+	Schema  int          `json:"schema"`
+	Seed    uint64       `json:"seed"`
+	Quick   bool         `json:"quick"`
+	Records []*RunRecord `json:"records"`
+}
+
+// Validate checks the set header and every record, including key uniqueness.
+func (rs *RecordSet) Validate() error {
+	if rs.Schema != RecordSchema {
+		return fmt.Errorf("record set: schema %d, want %d", rs.Schema, RecordSchema)
+	}
+	seen := make(map[string]bool, len(rs.Records))
+	for _, rec := range rs.Records {
+		if rec == nil {
+			return fmt.Errorf("record set: nil record")
+		}
+		if err := rec.Validate(); err != nil {
+			return err
+		}
+		k := rec.Spec.Key()
+		if seen[k] {
+			return fmt.Errorf("record set: duplicate record %s", k)
+		}
+		seen[k] = true
+	}
+	return nil
+}
+
+// LoadRecordSet reads a records.json emission.
+func LoadRecordSet(path string) (*RecordSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rs RecordSet
+	if err := json.NewDecoder(f).Decode(&rs); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", path, err)
+	}
+	return &rs, nil
+}
+
+// DiffStable compares two record sets on their stable fields — spec,
+// outcome and measurements, not wall time — returning a description of
+// every disagreement. Two runs of the same sweep with the same seed must
+// produce stably-equal sets regardless of interruption, resume, pool width
+// or execution order; the CI smoke job holds the pipeline to that.
+func DiffStable(a, b *RecordSet) ([]string, error) {
+	if a.Seed != b.Seed || a.Quick != b.Quick {
+		return nil, fmt.Errorf("experiments: diffing runs with different options (seed %d/%d, quick %v/%v)",
+			a.Seed, b.Seed, a.Quick, b.Quick)
+	}
+	index := make(map[string]*RunRecord, len(b.Records))
+	for _, rec := range b.Records {
+		index[rec.Spec.Key()] = rec
+	}
+	var diffs []string
+	for _, ra := range a.Records {
+		k := ra.Spec.Key()
+		rb, ok := index[k]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("%s: only in first set", k))
+			continue
+		}
+		delete(index, k)
+		if !ra.EqualStable(rb) {
+			diffs = append(diffs, fmt.Sprintf("%s: stable fields differ", k))
+		}
+	}
+	for k := range index {
+		diffs = append(diffs, fmt.Sprintf("%s: only in second set", k))
+	}
+	sort.Strings(diffs)
+	return diffs, nil
+}
+
+// sortRecords orders records for stable emission: by experiment ID (natural
+// E1 < E2 < ... < E10 < E11 order), then unit, then size, then trial.
+func sortRecords(recs []*RunRecord) {
+	order := make(map[string]int, len(experimentOrder))
+	for i, id := range experimentOrder {
+		order[id] = i
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i].Spec, recs[j].Spec
+		if oa, ob := order[a.Experiment], order[b.Experiment]; oa != ob {
+			return oa < ob
+		}
+		if a.Experiment != b.Experiment { // unknown IDs: fall back to string order
+			return a.Experiment < b.Experiment
+		}
+		if a.Unit != b.Unit {
+			return a.Unit < b.Unit
+		}
+		if a.N != b.N {
+			return a.N < b.N
+		}
+		return a.Trial < b.Trial
+	})
+}
+
+// WriteJSON emits the set as indented JSON.
+func (rs *RecordSet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(rs)
+}
+
+// WriteCSV emits the set's measurements in long format — one row per
+// (spec, metric) — which keeps the column set fixed across experiments with
+// disjoint measurement names: experiment,unit,n,trial,ok,metric,value.
+func (rs *RecordSet) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"experiment", "unit", "n", "trial", "ok", "metric", "value"}); err != nil {
+		return err
+	}
+	for _, rec := range rs.Records {
+		base := []string{rec.Spec.Experiment, rec.Spec.Unit,
+			strconv.Itoa(rec.Spec.N), strconv.Itoa(rec.Spec.Trial), strconv.FormatBool(rec.OK)}
+		names := make([]string, 0, len(rec.Values))
+		for k := range rec.Values {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			row := append(append([]string(nil), base...), k, strconv.FormatFloat(rec.Values[k], 'g', -1, 64))
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

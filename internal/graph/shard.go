@@ -58,17 +58,39 @@ func (g *Graph) ShardBounds(k int) []int {
 // time. It panics unless 0 < k <= len(live); live must be ascending within
 // [0, n) (the engines' worklists are).
 func (g *Graph) ShardBoundsLive(k int, live []int32) []int {
+	bounds, _ := g.ShardBoundsLiveInto(k, live, nil, nil)
+	return bounds
+}
+
+// ShardBoundsLiveInto is ShardBoundsLive with caller-owned scratch, for
+// engines that re-cut repeatedly: bounds and prefix are grown as needed and
+// returned, so a caller that passes back what it received pays no allocation
+// per cut once the scratch has reached steady size. The prefix array —
+// O(live) — dominates the price of a cut, so recycling it is what makes an
+// adaptive re-shard cadence cheap enough to measure honestly. The returned
+// bounds slice has length k+1 and the same contract as ShardBoundsLive.
+func (g *Graph) ShardBoundsLiveInto(k int, live []int32, bounds []int, prefix []int64) ([]int, []int64) {
 	n := g.N()
 	if k <= 0 || k > len(live) {
 		panic(fmt.Sprintf("graph: ShardBoundsLive(%d) for %d live nodes", k, len(live)))
 	}
 	// prefix[j] is the half-edge count of live[:j].
-	prefix := make([]int64, len(live)+1)
+	if cap(prefix) < len(live)+1 {
+		prefix = make([]int64, len(live)+1)
+	} else {
+		prefix = prefix[:len(live)+1]
+	}
+	prefix[0] = 0
 	for j, v := range live {
 		prefix[j+1] = prefix[j] + (g.off[v+1] - g.off[v])
 	}
 	total := prefix[len(live)]
-	bounds := make([]int, k+1)
+	if cap(bounds) < k+1 {
+		bounds = make([]int, k+1)
+	} else {
+		bounds = bounds[:k+1]
+	}
+	bounds[0] = 0
 	bounds[k] = n
 	j := 0    // index into live of the first live node of shard i
 	prev := 0 // j of the previous boundary, so every shard gets a live node
@@ -89,5 +111,5 @@ func (g *Graph) ShardBoundsLive(k int, live []int32) []int {
 		bounds[i] = int(live[j])
 		prev = j
 	}
-	return bounds
+	return bounds, prefix
 }

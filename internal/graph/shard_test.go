@@ -158,6 +158,105 @@ func TestShardBoundsLivePanicsOutOfRange(t *testing.T) {
 	}
 }
 
+// TestShardBoundsLiveDegenerate pins the edge cases the engines can feed
+// the re-sharding primitive: an empty worklist (no k is valid — the call
+// must panic rather than return shards with no live node), a single live
+// node, and a worklist made entirely of isolated (zero-degree) nodes, where
+// every prefix sum stalls at zero and only the one-node-per-shard clamps
+// place the boundaries.
+func TestShardBoundsLiveDegenerate(t *testing.T) {
+	g := Ring(12)
+
+	// Empty worklist: k <= len(live) can't hold for any positive k.
+	for _, k := range []int{1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ShardBoundsLive(%d, empty) did not panic", k)
+				}
+			}()
+			g.ShardBoundsLive(k, nil)
+		}()
+	}
+
+	// Single live node: the only valid k is 1, and the one shard must span
+	// the whole node range.
+	for _, v := range []int32{0, 5, 11} {
+		bounds := g.ShardBoundsLive(1, []int32{v})
+		if len(bounds) != 2 || bounds[0] != 0 || bounds[1] != g.N() {
+			t.Errorf("single live node %d: bounds %v", v, bounds)
+		}
+	}
+
+	// All-isolated-node worklist: an edgeless graph's live nodes all have
+	// degree zero, so the target scan never advances and every boundary
+	// comes from the clamps. Shards must still tile [0, n) with at least
+	// one live node each.
+	edgeless := NewBuilder(20).Graph()
+	live := makeLive(20, func(v int) bool { return v%2 == 0 })
+	for _, k := range []int{1, 2, 3, len(live)} {
+		bounds := edgeless.ShardBoundsLive(k, live)
+		if bounds[0] != 0 || bounds[k] != 20 {
+			t.Fatalf("edgeless k=%d: bounds %v do not tile [0,20)", k, bounds)
+		}
+		li := 0
+		for i := 0; i < k; i++ {
+			if bounds[i+1] <= bounds[i] {
+				t.Errorf("edgeless k=%d: empty shard %d: %v", k, i, bounds)
+			}
+			inShard := 0
+			for li < len(live) && int(live[li]) < bounds[i+1] {
+				inShard++
+				li++
+			}
+			if inShard == 0 {
+				t.Errorf("edgeless k=%d: shard %d [%d,%d) has no live node", k, i, bounds[i], bounds[i+1])
+			}
+		}
+	}
+
+	// Mixed case: isolated live nodes interleaved with connected ones on a
+	// disjoint ring + isolated block.
+	mixed := Disjoint(Ring(10), NewBuilder(10).Graph())
+	liveMixed := makeLive(mixed.N(), func(v int) bool { return v%2 == 1 })
+	bounds := mixed.ShardBoundsLive(3, liveMixed)
+	if bounds[0] != 0 || bounds[3] != mixed.N() {
+		t.Fatalf("mixed: bounds %v", bounds)
+	}
+	for i := 0; i < 3; i++ {
+		if bounds[i+1] <= bounds[i] {
+			t.Errorf("mixed: empty shard %d: %v", i, bounds)
+		}
+	}
+}
+
+// TestShardBoundsLiveInto checks the scratch-reusing variant: identical
+// bounds to the allocating form, and zero allocations once the scratch has
+// reached steady size — the property that makes a frequent re-shard cadence
+// cheap.
+func TestShardBoundsLiveInto(t *testing.T) {
+	g := PowerLaw(200, 3, prng.New(7))
+	live := makeLive(g.N(), func(v int) bool { return v%3 != 0 })
+	for _, k := range []int{1, 2, 5} {
+		want := g.ShardBoundsLive(k, live)
+		bounds, prefix := g.ShardBoundsLiveInto(k, live, nil, nil)
+		if len(bounds) != len(want) {
+			t.Fatalf("k=%d: Into bounds %v != %v", k, bounds, want)
+		}
+		for i := range want {
+			if bounds[i] != want[i] {
+				t.Fatalf("k=%d: Into bounds %v != %v", k, bounds, want)
+			}
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			bounds, prefix = g.ShardBoundsLiveInto(k, live, bounds, prefix)
+		})
+		if allocs != 0 {
+			t.Errorf("k=%d: %v allocs/cut with warm scratch, want 0", k, allocs)
+		}
+	}
+}
+
 func makeLive(n int, keep func(v int) bool) []int32 {
 	var live []int32
 	for v := 0; v < n; v++ {

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // RunConcurrent executes the network with one goroutine per node and one
@@ -157,6 +158,7 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 		wg.Wait()
 	}
 
+	st.tel = newTelemetry(Concurrent, 1)
 	var firstErr error
 	doneNow := make([]int32, 0, 16)
 	for r := 0; len(st.active) > 0; r++ {
@@ -165,12 +167,18 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 			return nil, &StuckError{MaxRounds: maxRounds, Running: len(st.active)}
 		}
 		st.activeTrace = append(st.activeTrace, len(st.active))
+		var roundStart time.Time
+		var roundMsgs int64
+		if st.tel != nil {
+			roundStart = time.Now()
+		}
 		for _, v := range st.active {
 			cont[v] <- true
 		}
 		doneNow = doneNow[:0]
 		for i := 0; i < len(st.active); i++ {
 			rep := <-reports
+			roundMsgs += rep.msgs
 			st.messages += rep.msgs
 			st.bits += rep.bits
 			if rep.maxBits > st.maxBits {
@@ -197,6 +205,14 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 		}
 		st.active = live
 		st.rounds++
+		if st.tel != nil {
+			// One lane: node goroutines interleave compute and channel
+			// delivery, so the coordinator's round wall time is both the
+			// compute and the delivery measurement.
+			wall := time.Since(roundStart).Nanoseconds()
+			st.tel.recordRound(wall, []int64{wall}, []int{int(roundMsgs)},
+				[]DeliveryMode{DeliverChannels})
+		}
 		if firstErr != nil {
 			stop()
 			return nil, firstErr

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"randlocal/internal/graph"
 	"randlocal/internal/randomness"
@@ -44,6 +45,13 @@ type Config struct {
 	// Workers is the pool size for the Parallel scheduler; 0 means the
 	// package default, falling back to runtime.GOMAXPROCS(0).
 	Workers int
+	// Reshard selects the Parallel scheduler's re-sharding policy:
+	// ReshardAuto (the zero value) defers to the package default set by
+	// SetDefaultReshard (adaptive out of the box); ReshardAdaptive,
+	// ReshardHalving and ReshardOff are explicit choices. Purely a
+	// performance lever — Results are identical under every policy — and
+	// ignored by the other engines.
+	Reshard ReshardPolicy
 }
 
 // CongestBits returns the standard CONGEST bandwidth bound used throughout
@@ -84,6 +92,13 @@ type Result[T any] struct {
 	BitsTotal int64
 	// MaxMessageBits is the largest single message observed, in bits.
 	MaxMessageBits int
+	// Telemetry is the run's scheduling measurement record — per-round
+	// per-worker compute times, staged-message counts, delivery-mode
+	// choices and re-shard events — collected only when SetTelemetry is
+	// enabled, nil otherwise. Unlike every other field its wall-clock
+	// content is host- and run-specific, so it is excluded from the
+	// scheduler-equivalence guarantees.
+	Telemetry *Telemetry
 }
 
 // engineState is the shared substrate of all three schedulers. The message
@@ -129,6 +144,9 @@ type engineState[T any] struct {
 	// poison latches the poisoned-Outbox debug setting for this run; see
 	// debug.go.
 	poison bool
+	// tel is the run's telemetry record, nil unless SetTelemetry was
+	// enabled when the run started (latched by the engine entry points).
+	tel *Telemetry
 
 	running     int
 	rounds      int
@@ -293,8 +311,10 @@ func (st *engineState[T]) step(v, r int) error {
 // now-dead inboxes). A sparse round walks the staged slot list (after
 // clearing last round's inbox slots individually), so a late round with a
 // tiny live fringe costs O(messages), not O(m).
-func (st *engineState[T]) finishRound() {
+func (st *engineState[T]) finishRound() DeliveryMode {
+	mode := DeliverSparse
 	if 8*len(st.staged) >= len(st.next) {
+		mode = DeliverDense
 		st.inbox, st.next = st.next, st.inbox
 		clear(st.next)
 	} else {
@@ -308,6 +328,7 @@ func (st *engineState[T]) finishRound() {
 	}
 	st.inboxSlots, st.staged = st.staged, st.inboxSlots[:0]
 	st.rounds++
+	return mode
 }
 
 func (st *engineState[T]) result() *Result[T] {
@@ -322,6 +343,7 @@ func (st *engineState[T]) result() *Result[T] {
 		Messages:       st.messages,
 		BitsTotal:      st.bits,
 		MaxMessageBits: st.maxBits,
+		Telemetry:      st.tel,
 	}
 }
 
@@ -348,10 +370,14 @@ func (st *engineState[T]) maxRounds() int {
 // runSequential is the round loop shared by Run and the degenerate
 // single-worker case of RunParallel. It iterates the active worklist —
 // compacting it in place as nodes halt — so a late round with a small live
-// fringe costs O(active + messages) rather than O(n + m).
+// fringe costs O(active + messages) rather than O(n + m). Under telemetry it
+// is one lane: the whole worklist sweep is the round's compute phase.
 func (st *engineState[T]) runSequential(maxRounds int) (*Result[T], error) {
 	if st.next == nil {
 		st.next = make([]Message, len(st.inbox))
+	}
+	if st.tel == nil {
+		st.tel = newTelemetry(Sequential, 1)
 	}
 	for r := 0; len(st.active) > 0; r++ {
 		if r >= maxRounds {
@@ -363,6 +389,10 @@ func (st *engineState[T]) runSequential(maxRounds int) (*Result[T], error) {
 			// the first buffer with round 0's and live just as long.
 			st.arena.rotate()
 		}
+		var roundStart time.Time
+		if st.tel != nil {
+			roundStart = time.Now()
+		}
 		live := st.active[:0]
 		for _, v := range st.active {
 			if err := st.step(int(v), r); err != nil {
@@ -373,7 +403,15 @@ func (st *engineState[T]) runSequential(maxRounds int) (*Result[T], error) {
 			}
 		}
 		st.active = live
-		st.finishRound()
+		if st.tel != nil {
+			computeNS := time.Since(roundStart).Nanoseconds()
+			stagedN := len(st.staged)
+			mode := st.finishRound()
+			st.tel.recordRound(time.Since(roundStart).Nanoseconds(),
+				[]int64{computeNS}, []int{stagedN}, []DeliveryMode{mode})
+		} else {
+			st.finishRound()
+		}
 	}
 	return st.result(), nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // stagedMsg is one message in flight between the compute and scatter phases
@@ -50,6 +51,12 @@ type parallelWorker struct {
 	bits    int64
 	maxBits int
 	halted  int
+	// computeNS is the wall time of this worker's last compute phase. The
+	// spread across the pool is the barrier imbalance the adaptive
+	// re-shard policy weighs against the re-cut price; two clock reads per
+	// worker per round cost nothing next to the phase itself, so it is
+	// measured unconditionally.
+	computeNS int64
 	// err is the shard's first error by node index; because shards are
 	// contiguous and ascending, the lowest-indexed erroring worker holds
 	// the same error Run would have returned.
@@ -70,6 +77,8 @@ type phaseCmd struct {
 // worklist, staging outgoing messages into per-destination-shard outboxes
 // and compacting the worklist as nodes halt.
 func (w *parallelWorker) compute(st *engineStateCore, r int) {
+	start := time.Now()
+	defer func() { w.computeNS = time.Since(start).Nanoseconds() }()
 	w.msgs, w.bits, w.maxBits, w.halted = 0, 0, 0, 0
 	w.err = nil
 	if r > 0 {
@@ -209,10 +218,17 @@ type engineStateCore struct {
 // and a whole-window memclr by comparing message count against window size
 // (the same density cut-off as the sequential engine's plane swap), so dense
 // all-active rounds take the vectorized sweep and sparse tail rounds touch
-// only live slots. And each time the live worklist halves, the coordinator
-// re-cuts the shards over the survivors by live half-edge spans
-// (graph.ShardBoundsLive), so the shattering tail — where the initial
-// whole-graph cut would leave most workers idle — stays balanced.
+// only live slots. And the coordinator re-cuts the shards over the live
+// worklist by surviving half-edge spans (graph.ShardBoundsLiveInto), so the
+// shattering tail — where the initial whole-graph cut would leave most
+// workers idle — stays balanced. *When* a re-cut runs is governed by
+// cfg.Reshard: under the ReshardAdaptive default the coordinator accumulates
+// the barrier imbalance it actually observes (summed idle worker time,
+// computed from per-worker compute-phase clocks) and re-cuts once that debt
+// exceeds reshardPayoff × the measured price of a cut; ReshardHalving is the
+// fixed legacy rule (re-cut at every worklist halving) kept for A/B runs,
+// and ReshardOff pins the initial cut. The policy changes wall clock only,
+// never the Result.
 //
 // Every mutable location has a single writer (the shard owner), phases are
 // separated by barriers, and counters merge over order-independent sums and
@@ -234,7 +250,10 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 	}
 	maxRounds := st.maxRounds()
 	if workers <= 1 {
-		// A one-worker pool is the sequential schedule; skip the barriers.
+		// A one-worker pool is the sequential schedule; skip the barriers,
+		// but keep the telemetry labeled with the engine the caller asked
+		// for (one lane; cfg.Reshard is moot without shards).
+		st.tel = newTelemetry(Parallel, 1)
 		return st.runSequential(maxRounds)
 	}
 
@@ -307,21 +326,26 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 		lifetime.Wait()
 	}
 
-	// reshard re-cuts the shards over the live worklist once the fringe has
-	// halved: the initial whole-graph cut goes stale as nodes halt — one
-	// shard's survivors can dominate every barrier while the other workers
-	// idle — so the coordinator re-balances by *surviving* half-edge spans
-	// (graph.ShardBoundsLive). It runs between rounds, while every worker is
-	// parked on its command channel, so moving worklist entries, node
-	// ownership (shardOf), arena wiring and recorded inbox slots is plain
-	// single-threaded code; the next phase commands publish it to the pool.
-	// Arenas stay with their workers and every arena still rotates once per
-	// round, so payloads carved before the cut remain live exactly as long
-	// as the retention rule promises.
+	// reshard re-cuts the shards over the live worklist: the initial
+	// whole-graph cut goes stale as nodes halt — one shard's survivors can
+	// dominate every barrier while the other workers idle — so the
+	// coordinator re-balances by *surviving* half-edge spans
+	// (graph.ShardBoundsLiveInto, fed the scratch from the previous cut so
+	// a steady cadence allocates nothing). It runs between rounds, while
+	// every worker is parked on its command channel, so moving worklist
+	// entries, node ownership (shardOf), arena wiring and recorded inbox
+	// slots is plain single-threaded code; the next phase commands publish
+	// it to the pool. Arenas stay with their workers and every arena still
+	// rotates once per round, so payloads carved before the cut remain live
+	// exactly as long as the retention rule promises.
 	liveScratch := make([]int32, 0, st.n)
 	var slotScratch []int32
+	var boundsScratch []int
+	var prefixScratch []int64
 	reshard := func(live []int32) {
-		bounds := st.g.ShardBoundsLive(workers, live)
+		var bounds []int
+		bounds, prefixScratch = st.g.ShardBoundsLiveInto(workers, live, boundsScratch, prefixScratch)
+		boundsScratch = bounds
 		// Collect every recorded inbox slot before the windows move; a
 		// worker whose last scatter was dense has no slot list, so scan its
 		// (old) window for survivors.
@@ -364,12 +388,36 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 			owner.inboxSlots = append(owner.inboxSlots, i)
 		}
 	}
+	st.tel = newTelemetry(Parallel, workers)
+	var computeScratch []int64
+	var stagedScratch []int
+	var modeScratch []DeliveryMode
+	if st.tel != nil {
+		computeScratch = make([]int64, workers)
+		stagedScratch = make([]int, workers)
+		modeScratch = make([]DeliveryMode, workers)
+	}
+
+	// Re-shard policy state (see policy.go): the halving trigger tracks
+	// the live size at the last cut, the cost model the imbalance debt.
+	// ReshardAuto (the zero value) defers to the package default
+	// (SetDefaultReshard), adaptive out of the box; an explicit policy is
+	// never overridden.
+	policy := cfg.Reshard
+	if policy == ReshardAuto {
+		policy = DefaultReshard()
+	}
 	lastReshard := st.n
+	model := newReshardModel(workers, st.n)
 
 	for r := 0; st.running > 0; r++ {
 		if r >= maxRounds {
 			stop()
 			return nil, &StuckError{MaxRounds: maxRounds, Running: st.running}
+		}
+		var roundStart time.Time
+		if st.tel != nil {
+			roundStart = time.Now()
 		}
 		runPhase(phaseCmd{phase: phaseCompute, round: r})
 		// Shards ascend by node index, so the first erroring worker holds
@@ -384,6 +432,7 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 		}
 		runPhase(phaseCmd{phase: phaseScatter, round: r})
 		activeN, liveN := 0, 0
+		var maxComputeNS, sumComputeNS int64
 		for _, w := range pool {
 			activeN += w.activeN
 			liveN += len(w.active)
@@ -393,19 +442,55 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 			if w.maxBits > st.maxBits {
 				st.maxBits = w.maxBits
 			}
+			if w.computeNS > maxComputeNS {
+				maxComputeNS = w.computeNS
+			}
+			sumComputeNS += w.computeNS
 		}
 		st.activeTrace = append(st.activeTrace, activeN)
 		st.rounds++
-		// Re-cut the shards each time the worklist has halved; below one
-		// live node per worker the tail is trivial and the cut stops.
-		if liveN >= workers && liveN*2 <= lastReshard {
-			live := liveScratch[:0]
-			for _, w := range pool {
-				live = append(live, w.active...)
+		if st.tel != nil {
+			for i, w := range pool {
+				computeScratch[i] = w.computeNS
+				stagedScratch[i] = int(w.msgs)
+				if w.denseInbox {
+					modeScratch[i] = DeliverDense
+				} else {
+					modeScratch[i] = DeliverSparse
+				}
 			}
-			liveScratch = live
-			reshard(live)
-			lastReshard = liveN
+			st.tel.recordRound(time.Since(roundStart).Nanoseconds(), computeScratch, stagedScratch, modeScratch)
+		}
+		// Re-shard decision. Below one live node per worker the tail is
+		// trivial and no policy cuts again; otherwise the halving rule
+		// compares the live size against the last cut, while the cost
+		// model charges this round's barrier imbalance — the idle worker
+		// time implied by the compute-phase spread — to a debt that must
+		// out-weigh the (measured) price of a cut before one is taken. A
+		// cut also requires the worklist to have shrunk since the last
+		// one: re-cutting an unchanged worklist would reproduce the same
+		// bounds and pay the price for nothing.
+		if policy != ReshardOff && liveN >= workers {
+			doCut := false
+			if policy == ReshardHalving {
+				doCut = liveN*2 <= lastReshard
+			} else {
+				model.charge(maxComputeNS, sumComputeNS)
+				doCut = model.shouldCut(liveN)
+			}
+			if doCut {
+				live := liveScratch[:0]
+				for _, w := range pool {
+					live = append(live, w.active...)
+				}
+				liveScratch = live
+				cutStart := time.Now()
+				reshard(live)
+				cost := time.Since(cutStart).Nanoseconds()
+				st.tel.recordReshard(r, liveN, cost, model.wasteNS)
+				model.cutDone(liveN, cost)
+				lastReshard = liveN
+			}
 		}
 	}
 	stop()

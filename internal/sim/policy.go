@@ -1,0 +1,120 @@
+package sim
+
+import "fmt"
+
+// ReshardPolicy selects when RunParallel re-cuts its shards over the live
+// worklist. Re-sharding is purely a performance decision: the Result —
+// outputs, rounds, active trajectory and all counters — is identical under
+// every policy (the equivalence suite asserts this), so policies exist to be
+// A/B-benchmarked, not to change behavior.
+type ReshardPolicy uint8
+
+const (
+	// ReshardAuto defers to the package-wide default (SetDefaultReshard);
+	// out of the box that is ReshardAdaptive. It is the zero value — the
+	// same pattern as Scheduler's Auto — so an *explicit* policy in a
+	// Config is never silently overridden by the package default.
+	ReshardAuto ReshardPolicy = iota
+	// ReshardAdaptive is the cost model (and the out-of-the-box default):
+	// the coordinator accumulates the barrier imbalance it observes — the
+	// idle worker time implied by the spread of per-worker compute times —
+	// and re-cuts only once that debt exceeds a multiple of the measured
+	// price of the previous re-cut. A balanced run never pays for a cut it
+	// does not need; a skewed shattering tail still gets re-balanced as
+	// soon as the imbalance has cost more than re-balancing would.
+	ReshardAdaptive
+	// ReshardHalving is the fixed legacy rule: re-cut every time the live
+	// worklist has halved since the last cut, regardless of how balanced
+	// the pool still is. Kept as an explicit override for A/B runs.
+	ReshardHalving
+	// ReshardOff never re-cuts: the initial whole-graph ShardBounds cut
+	// stands for the entire run.
+	ReshardOff
+)
+
+// String returns the flag-friendly name of the policy.
+func (p ReshardPolicy) String() string {
+	switch p {
+	case ReshardAuto:
+		return "auto"
+	case ReshardAdaptive:
+		return "adaptive"
+	case ReshardHalving:
+		return "halving"
+	case ReshardOff:
+		return "off"
+	default:
+		return fmt.Sprintf("ReshardPolicy(%d)", int(p))
+	}
+}
+
+// ParseReshardPolicy parses a -reshard flag value.
+func ParseReshardPolicy(name string) (ReshardPolicy, error) {
+	switch name {
+	case "", "auto":
+		return ReshardAuto, nil
+	case "adaptive":
+		return ReshardAdaptive, nil
+	case "halving":
+		return ReshardHalving, nil
+	case "off", "never":
+		return ReshardOff, nil
+	default:
+		return ReshardAuto, fmt.Errorf("sim: unknown re-shard policy %q (want adaptive, halving or off)", name)
+	}
+}
+
+// reshardPayoff is the adaptive policy's pay-off factor: a re-cut runs once
+// the accumulated barrier-imbalance debt exceeds reshardPayoff × the
+// estimated re-cut price, so a cut must plausibly pay for itself with margin
+// before it is taken.
+const reshardPayoff = 2
+
+// reshardModel is the adaptive policy's cost model, kept free of clocks and
+// engine state so its arithmetic is unit-testable with synthetic inputs. The
+// coordinator charges it one set of per-worker compute times per round and
+// asks whether the accumulated barrier-imbalance debt now out-weighs the
+// price of a re-cut.
+type reshardModel struct {
+	workers int
+	// costEstNS estimates the price of one re-cut: a conservative O(n)
+	// guess until the first cut is measured, then the last measurement.
+	costEstNS int64
+	// wasteNS is the imbalance debt since the last cut: the summed idle
+	// worker time at the compute barrier (workers×max − sum of compute
+	// times), accumulated round by round.
+	wasteNS int64
+	// lastCutLive is the live worklist size at the last cut; a new cut
+	// requires the worklist to have shrunk since — re-cutting an
+	// unchanged worklist would reproduce the same bounds and pay the
+	// price for nothing.
+	lastCutLive int
+}
+
+func newReshardModel(workers, n int) *reshardModel {
+	return &reshardModel{workers: workers, costEstNS: int64(n)*4 + 1000, lastCutLive: n}
+}
+
+// charge accumulates one round's barrier imbalance: maxNS is the slowest
+// worker's compute time and sumNS the pool's total, so the round's idle
+// worker time at the barrier is workers×max − sum.
+func (m *reshardModel) charge(maxNS, sumNS int64) {
+	m.wasteNS += maxNS*int64(m.workers) - sumNS
+}
+
+// shouldCut reports whether the accumulated debt justifies a re-cut over a
+// live worklist of size liveN.
+func (m *reshardModel) shouldCut(liveN int) bool {
+	return liveN < m.lastCutLive && m.wasteNS >= reshardPayoff*m.costEstNS
+}
+
+// cutDone records a completed re-cut: the measured price replaces the
+// estimate (floored so a lucky cheap cut cannot talk the model into
+// thrashing) and the debt resets.
+func (m *reshardModel) cutDone(liveN int, costNS int64) {
+	if m.costEstNS = costNS; m.costEstNS < 1000 {
+		m.costEstNS = 1000
+	}
+	m.lastCutLive = liveN
+	m.wasteNS = 0
+}

@@ -61,6 +61,7 @@ func ParseScheduler(name string) (Scheduler, error) {
 var defaultMu sync.RWMutex
 var defaultScheduler = Sequential
 var defaultWorkers = 0 // 0 = GOMAXPROCS for the parallel engine
+var defaultReshard = ReshardAdaptive
 
 // SetDefaultScheduler sets the engine used when a Config leaves Scheduler
 // as Auto — the lever the command-line front ends use to steer every
@@ -83,6 +84,27 @@ func DefaultScheduler() (Scheduler, int) {
 	defaultMu.RLock()
 	defer defaultMu.RUnlock()
 	return defaultScheduler, defaultWorkers
+}
+
+// SetDefaultReshard sets the re-shard policy RunParallel uses when a Config
+// leaves Reshard as ReshardAuto (the zero value) — the lever the
+// command-line front ends use for A/B runs across whole workloads. An
+// explicit Config.Reshard always wins; ReshardAuto resets to
+// ReshardAdaptive.
+func SetDefaultReshard(policy ReshardPolicy) {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if policy == ReshardAuto {
+		policy = ReshardAdaptive
+	}
+	defaultReshard = policy
+}
+
+// DefaultReshard reports the current package-wide default re-shard policy.
+func DefaultReshard() ReshardPolicy {
+	defaultMu.RLock()
+	defer defaultMu.RUnlock()
+	return defaultReshard
 }
 
 // Execute runs the simulation on the engine named by cfg.Scheduler,

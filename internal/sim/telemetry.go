@@ -1,0 +1,138 @@
+package sim
+
+import "sync/atomic"
+
+// Telemetry is the optional per-run measurement record the engines attach to
+// Result.Telemetry when collection is enabled (SetTelemetry). It answers the
+// scheduling questions the round/message counters cannot: how was each
+// round's compute time distributed over the pool, how many messages did each
+// worker stage, which delivery strategy did each shard pick, and when (and at
+// what price) did the parallel coordinator re-cut its shards.
+//
+// Collection follows the same pattern as the poisoned-Outbox debug check: a
+// package-level switch latched once at run start, with near-zero cost when
+// off (the only always-on cost is the parallel workers' per-phase clock
+// reads, which the adaptive re-shard policy needs regardless).
+//
+// Wall-clock fields are measurements of this host's execution, not model
+// quantities: unlike every other Result field they are not identical across
+// schedulers or repeated runs.
+type Telemetry struct {
+	// Scheduler is the engine that produced this record.
+	Scheduler Scheduler
+	// Workers is the number of telemetry lanes per round: the pool width
+	// for the parallel engine, 1 for the sequential and concurrent engines
+	// (the concurrent engine's per-node goroutines are not individually
+	// metered; its lane records the coordinator's view).
+	Workers int
+	// Rounds holds one entry per executed round, aligned with
+	// Result.ActivePerRound.
+	Rounds []RoundStats
+	// Reshards lists the parallel coordinator's shard re-cuts, in execution
+	// order (strictly increasing Round). Empty for the other engines and
+	// under ReshardOff.
+	Reshards []ReshardEvent
+}
+
+// RoundStats is one round's measurement across the telemetry lanes. All
+// slices have length Telemetry.Workers.
+type RoundStats struct {
+	// WallNS is the wall time of the whole round — compute, delivery and
+	// barriers — as seen by the coordinator.
+	WallNS int64
+	// ComputeNS[w] is the time lane w spent in the round's compute phase
+	// (calling Round methods and staging outboxes). The spread between
+	// lanes is the barrier imbalance the adaptive re-shard policy acts on.
+	ComputeNS []int64
+	// Staged[w] is the number of messages lane w staged this round.
+	Staged []int
+	// Mode[w] is the delivery strategy lane w used for this round's
+	// messages.
+	Mode []DeliveryMode
+}
+
+// DeliveryMode names the delivery strategy a lane chose for one round.
+type DeliveryMode uint8
+
+const (
+	// DeliverSparse walks the staged slot list — O(messages).
+	DeliverSparse DeliveryMode = iota
+	// DeliverDense swaps or memclrs the whole plane window — the
+	// vectorized sweep dense rounds take.
+	DeliverDense
+	// DeliverChannels is the concurrent engine's per-edge channel
+	// delivery (no per-round strategy choice exists there).
+	DeliverChannels
+)
+
+// String returns a short human-readable name.
+func (m DeliveryMode) String() string {
+	switch m {
+	case DeliverSparse:
+		return "sparse"
+	case DeliverDense:
+		return "dense"
+	case DeliverChannels:
+		return "channels"
+	default:
+		return "unknown"
+	}
+}
+
+// ReshardEvent records one shard re-cut of the parallel coordinator.
+type ReshardEvent struct {
+	// Round is the index of the round after which the re-cut ran; events
+	// are strictly increasing in Round.
+	Round int
+	// Live is the live worklist size the shards were re-balanced over.
+	Live int
+	// CostNS is the measured price of the re-cut itself.
+	CostNS int64
+	// WasteNS is the barrier-imbalance debt (summed idle worker time at
+	// the compute barrier) accumulated since the previous re-cut; it is
+	// what the adaptive policy weighed against the re-cut price. Zero
+	// under ReshardHalving, whose trigger ignores imbalance.
+	WasteNS int64
+}
+
+var telemetryEnabled atomic.Bool
+
+// SetTelemetry enables or disables telemetry collection for subsequent runs
+// on every scheduler. Safe for concurrent use; each run latches the setting
+// at start, and an enabled run returns its record as Result.Telemetry.
+func SetTelemetry(on bool) { telemetryEnabled.Store(on) }
+
+// TelemetryEnabled reports the current setting.
+func TelemetryEnabled() bool { return telemetryEnabled.Load() }
+
+// newTelemetry returns a fresh record when collection is enabled, else nil.
+// Engines call it once at run start; a nil receiver disables every record
+// method, so the hot loops guard with a single pointer test.
+func newTelemetry(sched Scheduler, workers int) *Telemetry {
+	if !telemetryEnabled.Load() {
+		return nil
+	}
+	return &Telemetry{Scheduler: sched, Workers: workers}
+}
+
+// recordRound appends one round's stats. The slices are copied, so callers
+// may reuse their scratch.
+func (t *Telemetry) recordRound(wallNS int64, computeNS []int64, staged []int, mode []DeliveryMode) {
+	if t == nil {
+		return
+	}
+	t.Rounds = append(t.Rounds, RoundStats{
+		WallNS:    wallNS,
+		ComputeNS: append([]int64(nil), computeNS...),
+		Staged:    append([]int(nil), staged...),
+		Mode:      append([]DeliveryMode(nil), mode...),
+	})
+}
+
+// recordReshard appends one re-cut event.
+func (t *Telemetry) recordReshard(round, live int, costNS, wasteNS int64) {
+	if t == nil {
+		return
+	}
+	t.Reshards = append(t.Reshards, ReshardEvent{Round: round, Live: live, CostNS: costNS, WasteNS: wasteNS})
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# experiments_smoke.sh — CI smoke test for the experiments pipeline.
+#
+# Exercises the three guarantees the pipeline makes:
+#   1. A -quick sweep of a fast experiment subset completes and emits
+#      records.json / records.csv next to the rendered tables.
+#   2. The emission passes schema validation (-validate) and the CSV has
+#      the fixed long-format header.
+#   3. The checkpoint/resume round-trip: a run stopped early via -limit
+#      (the controlled-interruption hook; torn-journal kills are covered by
+#      the package's Go tests) is resumed from its checkpoint and must
+#      reproduce the uninterrupted run's records exactly (-diff compares
+#      stable fields, ignoring wall-clock metadata).
+#
+# Usage: scripts/experiments_smoke.sh [outdir]
+# Env:   EXPERIMENTS_SMOKE_SUBSET  comma-separated IDs (default E3,E5,E11)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-experiments-smoke-out}"
+SUBSET="${EXPERIMENTS_SMOKE_SUBSET:-E3,E5,E11}"
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+echo "== full quick run ($SUBSET)"
+go run ./cmd/experiments -quick -experiment "$SUBSET" -out "$OUT/full" -md "$OUT/EXPERIMENTS.quick.md"
+
+echo "== schema validation"
+go run ./cmd/experiments -validate "$OUT/full"
+head -1 "$OUT/full/records.csv" | grep -q '^experiment,unit,n,trial,ok,metric,value$'
+[ "$(wc -l <"$OUT/full/records.csv")" -gt 1 ]
+
+echo "== checkpoint/resume round-trip (write, stop, resume, compare)"
+go run ./cmd/experiments -quick -experiment "$SUBSET" -out "$OUT/resume" -limit 3
+if [ -f "$OUT/resume/records.json" ]; then
+	echo "experiments_smoke: interrupted run emitted records.json" >&2
+	exit 1
+fi
+go run ./cmd/experiments -quick -experiment "$SUBSET" -out "$OUT/resume"
+go run ./cmd/experiments -diff "$OUT/full/records.json" "$OUT/resume/records.json"
+
+echo "experiments smoke: OK (records in $OUT/full)"
