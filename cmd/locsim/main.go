@@ -49,6 +49,13 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "worker-pool size for -scheduler parallel (0 = GOMAXPROCS)")
 	reshard := fs.String("reshard", "adaptive", "parallel re-shard policy: adaptive | halving | off")
 	telemetry := fs.Bool("telemetry", false, "collect per-round scheduling telemetry; prints a summary for the single-simulation algorithms (en, luby, coloring)")
+	drop := fs.Float64("drop", 0, "adversary: per-message drop probability (en, luby, coloring)")
+	delay := fs.Float64("delay", 0, "adversary: per-message delay probability")
+	delayMax := fs.Int("delaymax", 2, "adversary: max extra rounds a delayed message is held")
+	crash := fs.Int("crash", 0, "adversary: nodes crash-stopped per round")
+	churn := fs.Int("churn", 0, "adversary: edges removed per round")
+	heal := fs.Int("heal", 0, "adversary: removed edges restored per round")
+	stall := fs.Int("stall", 0, "adversary: nodes denied the round by the scheduler, per round")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +72,28 @@ func run(args []string) error {
 	sim.SetTelemetry(*telemetry)
 	if *telemetry {
 		defer sim.SetTelemetry(false)
+	}
+
+	// The adversary draws from the key's isolated adversary stream, so the
+	// same -seed with and without fault flags replays the same algorithm
+	// coins (telemetry is forced on for faulted runs, so the injected-event
+	// summary always prints).
+	advCfg := sim.AdversaryConfig{
+		DropProb: *drop, DelayProb: *delay, DelayMax: *delayMax,
+		CrashPerRound: *crash, ChurnPerRound: *churn, HealPerRound: *heal,
+		StallPerRound: *stall,
+	}
+	var adv *sim.Adversary
+	if !advCfg.Zero() {
+		adv, err = sim.NewAdversary(sim.NewSimulationKey(*seed), advCfg)
+		if err != nil {
+			return err
+		}
+		switch *algo {
+		case "en", "luby", "coloring":
+		default:
+			return fmt.Errorf("adversary flags apply to -algo en, luby or coloring, not %q", *algo)
+		}
 	}
 
 	rng := prng.New(*seed)
@@ -98,11 +127,22 @@ func run(args []string) error {
 	switch *algo {
 	case "en":
 		src := randomness.NewFull(*seed)
-		d, res, err := decomp.ElkinNeiman(g, src, nil, decomp.ENConfig{})
+		d, res, err := decomp.ElkinNeiman(g, src, nil, decomp.ENConfig{Adversary: adv})
 		if err != nil {
-			return err
+			if adv == nil || res == nil {
+				return err
+			}
+			printTelemetry(res.Telemetry)
+			fmt.Printf("Elkin–Neiman under faults: INCOMPLETE (%v) rounds=%d\n", err, res.Rounds)
+			return nil
 		}
 		printTelemetry(res.Telemetry)
+		if adv != nil {
+			if verr := d.Validate(g, 0, 0); verr != nil {
+				fmt.Printf("Elkin–Neiman under faults: INVALID (%v) rounds=%d messages=%d\n", verr, res.Rounds, res.Messages)
+				return nil
+			}
+		}
 		return reportDecomp(g, d, "Elkin–Neiman",
 			fmt.Sprintf("rounds=%d messages=%d maxMsgBits=%d trueBits=%d",
 				res.Rounds, res.Messages, res.MaxMessageBits, src.Ledger().TrueBits()))
@@ -177,11 +217,21 @@ func run(args []string) error {
 		return nil
 	case "luby":
 		src := randomness.NewFull(*seed)
-		in, res, err := mis.Luby(g, src, nil, mis.LubyConfig{})
+		in, res, err := mis.Luby(g, src, nil, mis.LubyConfig{Adversary: adv})
 		if err != nil {
-			return err
+			if adv == nil || res == nil {
+				return err
+			}
+			printTelemetry(res.Telemetry)
+			fmt.Printf("Luby MIS under faults: INCOMPLETE (%v) rounds=%d\n", err, res.Rounds)
+			return nil
 		}
 		if err := check.MIS(g, in); err != nil {
+			if adv != nil {
+				printTelemetry(res.Telemetry)
+				fmt.Printf("Luby MIS under faults: INVALID (%v) rounds=%d\n", err, res.Rounds)
+				return nil
+			}
 			return fmt.Errorf("invalid MIS: %w", err)
 		}
 		size := 0
@@ -195,11 +245,21 @@ func run(args []string) error {
 		return nil
 	case "coloring":
 		src := randomness.NewFull(*seed)
-		colors, res, err := coloring.Randomized(g, src, nil, coloring.Config{})
+		colors, res, err := coloring.Randomized(g, src, nil, coloring.Config{Adversary: adv})
 		if err != nil {
-			return err
+			if adv == nil || res == nil {
+				return err
+			}
+			printTelemetry(res.Telemetry)
+			fmt.Printf("(Δ+1)-coloring under faults: INCOMPLETE (%v) rounds=%d\n", err, res.Rounds)
+			return nil
 		}
 		if err := check.Coloring(g, colors, g.MaxDegree()+1); err != nil {
+			if adv != nil {
+				printTelemetry(res.Telemetry)
+				fmt.Printf("(Δ+1)-coloring under faults: INVALID (%v) rounds=%d\n", err, res.Rounds)
+				return nil
+			}
 			return fmt.Errorf("invalid coloring: %w", err)
 		}
 		printTelemetry(res.Telemetry)
@@ -270,6 +330,22 @@ func printTelemetry(tel *sim.Telemetry) {
 	for _, ev := range tel.Reshards {
 		fmt.Printf("telemetry: reshard after round %d over %d live nodes (cost %.2fms, imbalance debt %.2fms)\n",
 			ev.Round, ev.Live, float64(ev.CostNS)/1e6, float64(ev.WasteNS)/1e6)
+	}
+	if len(tel.Injected) > 0 {
+		totals := map[sim.InjectKind]int{}
+		for _, ev := range tel.Injected {
+			totals[ev.Kind] += ev.Count
+		}
+		kinds := []sim.InjectKind{sim.InjectDrop, sim.InjectCut, sim.InjectDelay,
+			sim.InjectSupersede, sim.InjectExpire, sim.InjectChurnDown,
+			sim.InjectChurnUp, sim.InjectCrash, sim.InjectStall, sim.InjectStallLoss}
+		line := ""
+		for _, k := range kinds {
+			if totals[k] > 0 {
+				line += fmt.Sprintf(" %v=%d", k, totals[k])
+			}
+		}
+		fmt.Printf("telemetry: injected faults (%d events):%s\n", len(tel.Injected), line)
 	}
 }
 

@@ -13,12 +13,14 @@ import (
 )
 
 func main() {
-	rng := randlocal.NewRNG(6)
-	g := randlocal.GNPConnected(400, 4.0/400, rng)
+	// One key reproduces the whole scenario: the graph and the IDs draw
+	// from its workload stream, algorithm coins from its algorithm stream.
+	key := randlocal.NewSimulationKey(6)
+	g := randlocal.GNPConnected(400, 4.0/400, key.RNG().Workload())
 	fmt.Printf("network: %v\n\n", g)
 
 	// Leader election: flood the minimum identifier.
-	ids := randlocal.RandomIDs(g.N(), 5, rng)
+	ids := randlocal.RandomIDs(g.N(), 5, key)
 	leaders, res, err := randlocal.ElectLeader(g, ids, 0)
 	if err != nil {
 		log.Fatal(err)

@@ -53,13 +53,37 @@ func (c *misChecker) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
 
 func (c *misChecker) Output() bool { return c.answer }
 
+// Options configures the verification network a distributed checker runs
+// on. The zero value is the fault-free default every plain checker entry
+// point uses.
+type Options struct {
+	// Adversary, when non-nil, injects its faults into the checker's own
+	// CONGEST execution — the checker becomes the system under test: a
+	// valid solution checked over a lossy network may be rejected (a
+	// dropped membership bit looks like a maximality violation), but a
+	// checker must never be tricked into accepting an invalid solution,
+	// because every per-node "no" is computed from locally held inputs.
+	// The experiments' E12 family measures exactly this asymmetry.
+	Adversary *sim.Adversary
+}
+
+func (o Options) config(g *graph.Graph) sim.Config {
+	return sim.Config{
+		Graph:          g,
+		MaxMessageBits: sim.CongestBits(g.N()),
+		Adversary:      o.Adversary,
+	}
+}
+
 // MISDistributed runs the 1-round distributed MIS checker and reports
 // whether all nodes answered yes, plus the per-node answers.
 func MISDistributed(g *graph.Graph, in []bool) (bool, []bool, error) {
-	res, err := sim.Execute(sim.Config{
-		Graph:          g,
-		MaxMessageBits: sim.CongestBits(g.N()),
-	}, func(v int) sim.NodeProgram[bool] {
+	return MISDistributedOpts(g, in, Options{})
+}
+
+// MISDistributedOpts is MISDistributed on a configured network.
+func MISDistributedOpts(g *graph.Graph, in []bool, opt Options) (bool, []bool, error) {
+	res, err := sim.Execute(opt.config(g), func(v int) sim.NodeProgram[bool] {
 		return &misChecker{inMIS: in[v]}
 	})
 	if err != nil {
@@ -106,10 +130,12 @@ func (c *coloringChecker) Output() bool { return c.answer }
 
 // ColoringDistributed runs the 1-round distributed coloring checker.
 func ColoringDistributed(g *graph.Graph, colors []int, maxColors int) (bool, []bool, error) {
-	res, err := sim.Execute(sim.Config{
-		Graph:          g,
-		MaxMessageBits: sim.CongestBits(g.N()),
-	}, func(v int) sim.NodeProgram[bool] {
+	return ColoringDistributedOpts(g, colors, maxColors, Options{})
+}
+
+// ColoringDistributedOpts is ColoringDistributed on a configured network.
+func ColoringDistributedOpts(g *graph.Graph, colors []int, maxColors int, opt Options) (bool, []bool, error) {
+	res, err := sim.Execute(opt.config(g), func(v int) sim.NodeProgram[bool] {
 		return &coloringChecker{color: colors[v], maxColors: maxColors}
 	})
 	if err != nil {
@@ -185,11 +211,14 @@ func (c *decompChecker) Output() uint64 { return c.minSeen }
 // neighbor and, within every cluster, all members converged to one minimum
 // ID within d rounds (certifying strong radius ≤ d from that member).
 func DecompositionDistributed(g *graph.Graph, d *decomp.Decomposition, radius int) (bool, error) {
+	return DecompositionDistributedOpts(g, d, radius, Options{})
+}
+
+// DecompositionDistributedOpts is DecompositionDistributed on a configured
+// network.
+func DecompositionDistributedOpts(g *graph.Graph, d *decomp.Decomposition, radius int, opt Options) (bool, error) {
 	progs := make([]*decompChecker, g.N())
-	res, err := sim.Execute(sim.Config{
-		Graph:          g,
-		MaxMessageBits: sim.CongestBits(g.N()),
-	}, func(v int) sim.NodeProgram[uint64] {
+	res, err := sim.Execute(opt.config(g), func(v int) sim.NodeProgram[uint64] {
 		p := &decompChecker{cluster: d.Cluster[v], color: d.Color[v], rounds: radius}
 		progs[v] = p
 		return p

@@ -1,0 +1,165 @@
+package check
+
+import (
+	"testing"
+
+	"randlocal/internal/decomp"
+	"randlocal/internal/graph"
+	"randlocal/internal/prng"
+	"randlocal/internal/sim"
+)
+
+func faultedOpts(t *testing.T, seed uint64, cfg sim.AdversaryConfig) Options {
+	t.Helper()
+	adv, err := sim.NewAdversary(sim.NewSimulationKey(seed), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Options{Adversary: adv}
+}
+
+func greedyMIS(g *graph.Graph) []bool {
+	in := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		ok := true
+		for _, w := range g.Neighbors(v) {
+			if in[w] {
+				ok = false
+			}
+		}
+		in[v] = ok
+	}
+	return in
+}
+
+// TestFaultedCheckersNeverFalseAccept is the oracle property the adversary
+// layer leans on: a checker run over a faulty network may false-reject a
+// valid solution (lost messages look like violations) but can never be
+// tricked into accepting an invalid one — every per-node "no" that a
+// violation forces is computed from state the node holds locally, which no
+// drop, delay, churn or stall can take away. Crashes are excluded by
+// design: a crashed node never reports, so its "no" can be lost with the
+// node; the experiments treat crashed checker runs as incomplete, not as
+// verdicts.
+func TestFaultedCheckersNeverFalseAccept(t *testing.T) {
+	rng := prng.New(99)
+	budgets := []sim.AdversaryConfig{
+		{DropProb: 0.25},
+		{DelayProb: 0.25, DelayMax: 2},
+		{ChurnPerRound: 6},
+		{StallPerRound: 5},
+		{DropProb: 0.15, DelayProb: 0.15, DelayMax: 3, ChurnPerRound: 3, StallPerRound: 3},
+	}
+	for trial := 0; trial < 4; trial++ {
+		g := graph.GNPConnected(40, 0.1, rng)
+		n := g.N()
+
+		in := greedyMIS(g)
+		bad := append([]bool(nil), in...)
+		bad[trial%n] = !bad[trial%n]
+
+		colors := make([]int, n)
+		for v := 0; v < n; v++ { // greedy proper coloring
+			used := map[int]bool{}
+			for _, w := range g.Neighbors(v) {
+				if int(w) < v {
+					used[colors[w]] = true
+				}
+			}
+			for used[colors[v]] {
+				colors[v]++
+			}
+		}
+		badColors := append([]int(nil), colors...)
+		for _, w := range g.Neighbors(trial % n) { // force a monochromatic edge
+			badColors[w] = badColors[trial%n]
+			break
+		}
+
+		for bi, budget := range budgets {
+			opt := faultedOpts(t, uint64(trial*100+bi), budget)
+			if all, _, err := MISDistributedOpts(g, bad, opt); err != nil {
+				t.Fatal(err)
+			} else if all {
+				t.Errorf("trial %d budget %d: faulted MIS checker accepted an invalid MIS", trial, bi)
+			}
+			if all, _, err := ColoringDistributedOpts(g, badColors, 0, opt); err != nil {
+				t.Fatal(err)
+			} else if all {
+				t.Errorf("trial %d budget %d: faulted coloring checker accepted an improper coloring", trial, bi)
+			}
+		}
+	}
+}
+
+// TestFaultedSplittingCheckerNeverFalseAccept covers the fourth checker on
+// its bipartite communication graph.
+func TestFaultedSplittingCheckerNeverFalseAccept(t *testing.T) {
+	adjU := [][]int{{0, 1}, {1, 2}, {0, 2}}
+	bad := []int{0, 0, 0} // every U-node misses color 1
+	for bi, budget := range []sim.AdversaryConfig{
+		{DropProb: 0.3},
+		{StallPerRound: 3},
+	} {
+		ok, err := SplittingDistributedOpts(adjU, 3, bad, faultedOpts(t, uint64(bi), budget))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("budget %d: faulted splitting checker accepted an invalid split", bi)
+		}
+	}
+}
+
+// TestZeroBudgetOptionsMatchPlainCheckers: attaching a null adversary to a
+// checker reproduces the fault-free verdict on both valid and corrupted
+// inputs — the stream-isolation guarantee surfacing at the check layer.
+func TestZeroBudgetOptionsMatchPlainCheckers(t *testing.T) {
+	g := graph.GNPConnected(50, 0.08, prng.New(7))
+	opt := faultedOpts(t, 5, sim.AdversaryConfig{})
+	in := greedyMIS(g)
+	for _, corrupt := range []bool{false, true} {
+		if corrupt {
+			in[3] = !in[3]
+		}
+		wantAll, wantAns, err := MISDistributed(g, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotAll, gotAns, err := MISDistributedOpts(g, in, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotAll != wantAll {
+			t.Fatalf("corrupt=%v: zero-budget verdict %v != plain %v", corrupt, gotAll, wantAll)
+		}
+		for v := range wantAns {
+			if gotAns[v] != wantAns[v] {
+				t.Fatalf("corrupt=%v: node %d answer diverged under a null adversary", corrupt, v)
+			}
+		}
+	}
+}
+
+// TestFaultedDecompositionCheckerRejectsLateFlood: the radius-d
+// decomposition checker under stalls demonstrates the honest false-reject
+// direction — a valid decomposition can fail certification because the
+// min-ID flood missed its deadline, but the checker still never errs the
+// other way on a color violation.
+func TestFaultedDecompositionCheckerOneSided(t *testing.T) {
+	g := graph.Path(8)
+	// Two clusters of four with the same color on both — an adjacency
+	// violation at the {3,4} edge.
+	bad := &decomp.Decomposition{
+		Cluster: []int{0, 0, 0, 0, 1, 1, 1, 1},
+		Color:   []int{0, 0, 0, 0, 0, 0, 0, 0},
+	}
+	opt := faultedOpts(t, 11, sim.AdversaryConfig{DropProb: 0.2, StallPerRound: 2})
+	ok, err := DecompositionDistributedOpts(g, bad, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("faulted decomposition checker accepted adjacent same-color clusters")
+	}
+}

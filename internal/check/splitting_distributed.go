@@ -53,6 +53,11 @@ func (c *splitChecker) Output() bool { return c.answer }
 // (U-nodes get indices [0, |U|), V-nodes [|U|, |U|+nv)). It returns
 // whether all nodes answered yes, matching the global Splitting validator.
 func SplittingDistributed(adjU [][]int, nv int, colors []int) (bool, error) {
+	return SplittingDistributedOpts(adjU, nv, colors, Options{})
+}
+
+// SplittingDistributedOpts is SplittingDistributed on a configured network.
+func SplittingDistributedOpts(adjU [][]int, nv int, colors []int, opt Options) (bool, error) {
 	nu := len(adjU)
 	b := graph.NewBuilder(nu + nv)
 	for u, ns := range adjU {
@@ -61,10 +66,7 @@ func SplittingDistributed(adjU [][]int, nv int, colors []int) (bool, error) {
 		}
 	}
 	g := b.Graph()
-	res, err := sim.Execute(sim.Config{
-		Graph:          g,
-		MaxMessageBits: sim.CongestBits(g.N()),
-	}, func(node int) sim.NodeProgram[bool] {
+	res, err := sim.Execute(opt.config(g), func(node int) sim.NodeProgram[bool] {
 		if node < nu {
 			return &splitChecker{isU: true}
 		}

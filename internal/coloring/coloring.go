@@ -26,6 +26,9 @@ type Config struct {
 	// into the node's current palette — the limited-independence
 	// experiments hook in here.
 	Candidate func(v, phase, paletteSize int) int
+	// Adversary, when non-nil, injects its faults into the execution;
+	// attaching one never changes the candidate coins the nodes draw.
+	Adversary *sim.Adversary
 }
 
 // program is one node of the trial-color algorithm. Each phase takes two
@@ -148,6 +151,7 @@ func Randomized(g *graph.Graph, src randomness.Source, ids []uint64, cfg Config)
 		IDs:            ids,
 		Source:         src,
 		MaxMessageBits: sim.CongestBits(g.N()),
+		Adversary:      cfg.Adversary,
 	}
 	res, err := sim.Execute(simCfg, func(int) sim.NodeProgram[int] {
 		return &program{cfg: cfg}

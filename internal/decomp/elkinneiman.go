@@ -24,6 +24,9 @@ type ENConfig struct {
 	// independence experiments inject radii derived from a KWise family
 	// here; the default draws from the node's accounted private stream.
 	Radius func(v, phase int) int
+	// Adversary, when non-nil, injects its faults into the execution;
+	// attaching one never changes the radius coins the nodes draw.
+	Adversary *sim.Adversary
 }
 
 func (c *ENConfig) withDefaults(n int) ENConfig {
@@ -217,6 +220,7 @@ func ElkinNeiman(g *graph.Graph, src randomness.Source, ids []uint64, cfg ENConf
 		IDs:            ids,
 		Source:         src,
 		MaxMessageBits: sim.CongestBits(g.N()),
+		Adversary:      cfg.Adversary,
 	}
 	res, err := sim.Execute(simCfg, func(int) sim.NodeProgram[enOutput] {
 		return &enProgram{cfg: cfg}

@@ -275,7 +275,7 @@ func TestElkinNeimanRandomAndAdversarialIDs(t *testing.T) {
 	rng := prng.New(44)
 	g := graph.GNPConnected(128, 0.04, rng)
 	for name, ids := range map[string][]uint64{
-		"random":      sim.RandomIDs(g.N(), g.N(), rng),
+		"random":      sim.RandomIDs(g.N(), g.N(), sim.NewSimulationKey(rng.Uint64())),
 		"adversarial": sim.AdversarialDescendingIDs(g.N()),
 	} {
 		d, _, err := ElkinNeiman(g, randomness.NewFull(11), ids, ENConfig{})

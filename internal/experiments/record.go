@@ -4,11 +4,12 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"os"
 	"sort"
 	"strconv"
+
+	"randlocal/internal/sim"
 )
 
 // RecordSchema is the format version stamped on every emitted RunRecord;
@@ -42,14 +43,20 @@ func (s RunSpec) Key() string {
 	return s.Experiment + "|" + s.Unit + "|" + strconv.Itoa(s.N) + "|" + strconv.Itoa(s.Trial)
 }
 
-// Seed derives the spec's deterministic random seed from the master seed:
-// an FNV-1a hash of the key mixed with the master, so every (experiment,
-// unit, size, trial) owns an independent stream no matter when or where it
-// runs.
+// SimKey derives the spec's partitioned simulation key from the master
+// seed: SimulationKey.Derive over the spec's identity. Everything a trial
+// randomizes — the instance (workload stream), the algorithm's coins, any
+// adversary — hangs off this one key, so records are independent of
+// execution order and of which trials ran in the same process.
+func (s RunSpec) SimKey(master uint64) sim.SimulationKey {
+	return sim.NewSimulationKey(master).Derive(s.Key())
+}
+
+// Seed is the spec's key as a raw seed. Derive is bit-identical to the
+// pipeline's historical FNV-1a derivation (pinned by the sim package's
+// golden tests), so every checked-in record stays reproducible.
 func (s RunSpec) Seed(master uint64) uint64 {
-	h := fnv.New64a()
-	io.WriteString(h, s.Key())
-	return h.Sum64() ^ (master * 0x9e3779b97f4a7c15)
+	return uint64(s.SimKey(master))
 }
 
 // instanceSeed derives the seed shared by every trial of the same

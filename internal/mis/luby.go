@@ -34,6 +34,11 @@ type LubyConfig struct {
 	// MaxPhases caps execution; 0 means 24·⌈log₂ n⌉ + 24 (the algorithm
 	// needs O(log n) w.h.p.).
 	MaxPhases int
+	// Adversary, when non-nil, injects its faults (drops, delays, crashes,
+	// churn, stalls) into the execution. Faults draw only from the
+	// adversary stream of a SimulationKey, so attaching one never changes
+	// the priority coins the nodes draw.
+	Adversary *sim.Adversary
 }
 
 // lubyProgram is one node of Luby's algorithm. Each phase takes three
@@ -183,6 +188,7 @@ func Luby(g *graph.Graph, src randomness.Source, ids []uint64, cfg LubyConfig) (
 		IDs:            ids,
 		Source:         src,
 		MaxMessageBits: sim.CongestBits(g.N()),
+		Adversary:      cfg.Adversary,
 	}
 	res, err := sim.Execute(simCfg, func(int) sim.NodeProgram[LubyOutput] {
 		return &lubyProgram{cfg: cfg}

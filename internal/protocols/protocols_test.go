@@ -11,7 +11,7 @@ import (
 func TestElectLeader(t *testing.T) {
 	rng := prng.New(3)
 	g := graph.GNPConnected(80, 0.05, rng)
-	ids := sim.RandomIDs(80, 5, rng)
+	ids := sim.RandomIDs(80, 5, sim.NewSimulationKey(rng.Uint64()))
 	minID := ids[0]
 	for _, id := range ids {
 		if id < minID {

@@ -57,11 +57,25 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 		msgs    int64
 		bits    int64
 		maxBits int
+		drops   int
+		cuts    int
+		delays  int
+		held    []heldMsg
 		err     error
 	}
-	cont := make([]chan bool, n)
+	// Per-round start commands: stop ends the goroutine (normal shutdown or
+	// an adversary crash-stop), run is a normal round, stall is a round the
+	// adversarial scheduler denies the node — it stays frame-synchronized
+	// with its neighbors (sending nil frames) but its Round method is not
+	// invoked and its pending inbox goes unobserved.
+	const (
+		nodeStop uint8 = iota
+		nodeRun
+		nodeStall
+	)
+	cont := make([]chan uint8, n)
 	for v := range cont {
-		cont[v] = make(chan bool, 1)
+		cont[v] = make(chan uint8, 1)
 	}
 	reports := make(chan report, n)
 
@@ -80,18 +94,26 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 			// below, so the poison fill is race-free).
 			inbox := st.inbox[lo : lo+int64(deg) : lo+int64(deg)]
 			outWin := st.outbox[lo : lo+int64(deg)]
-			for r := 0; <-cont[v]; r++ {
+			for r := 0; ; r++ {
+				cmd := <-cont[v]
+				if cmd == nodeStop {
+					return
+				}
 				if r > 0 {
 					// Not before round 0: Init carves share round 0's buffer.
 					a.rotate()
 				}
-				if st.poison {
-					poisonWindow(outWin)
-				}
-				out, nodeDone := prog.Round(r, inbox)
+				var out []Message
+				nodeDone := false
 				var sendErr error
-				if len(out) > deg {
-					sendErr = fmt.Errorf("sim: node %d produced %d outbox entries for degree %d", v, len(out), deg)
+				if cmd != nodeStall {
+					if st.poison {
+						poisonWindow(outWin)
+					}
+					out, nodeDone = prog.Round(r, inbox)
+					if len(out) > deg {
+						sendErr = fmt.Errorf("sim: node %d produced %d outbox entries for degree %d", v, len(out), deg)
+					}
 				}
 				rep := report{node: v, done: nodeDone}
 				// Send exactly one frame per live neighbor (nil when
@@ -117,6 +139,24 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 							rep.err = &BandwidthError{Node: v, Round: r, Bits: msg.BitLen(), Limit: cfg.MaxMessageBits}
 						}
 						msg = nil // stay frame-synchronized despite the violation
+					}
+					if msg != nil && st.adv != nil {
+						// In-transit fate: a pure hash of (round, slot), so
+						// every engine agrees without coordination. A doomed
+						// message still sends its (nil) frame — synchrony is
+						// the synchronizer's, not the adversary's.
+						switch f, d := st.adv.fate(r, st.rev[lo+int64(p)]); f {
+						case fateDrop:
+							rep.drops++
+							msg = nil
+						case fateCut:
+							rep.cuts++
+							msg = nil
+						case fateDelay:
+							rep.delays++
+							rep.held = append(rep.held, holdMsg(st.rev[lo+int64(p)], r, d, msg))
+							msg = nil
+						}
 					}
 					if msg != nil {
 						rep.msgs++
@@ -153,12 +193,12 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 	// halted nodes have already exited on their own.
 	stop := func() {
 		for _, v := range st.active {
-			cont[v] <- false
+			cont[v] <- nodeStop
 		}
 		wg.Wait()
 	}
 
-	st.tel = newTelemetry(Concurrent, 1)
+	st.initTelemetry(Concurrent, 1)
 	var firstErr error
 	doneNow := make([]int32, 0, 16)
 	for r := 0; len(st.active) > 0; r++ {
@@ -166,23 +206,34 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 			stop()
 			return nil, &StuckError{MaxRounds: maxRounds, Running: len(st.active)}
 		}
-		st.activeTrace = append(st.activeTrace, len(st.active))
+		activeN := len(st.active)
+		if st.adv != nil {
+			activeN -= st.adv.stalledCount()
+		}
+		st.activeTrace = append(st.activeTrace, activeN)
 		var roundStart time.Time
-		var roundMsgs int64
+		var roundEmitted int64
 		if st.tel != nil {
 			roundStart = time.Now()
 		}
 		for _, v := range st.active {
-			cont[v] <- true
+			cmd := nodeRun
+			if st.adv != nil && st.adv.stalled[v] {
+				cmd = nodeStall
+			}
+			cont[v] <- cmd
 		}
 		doneNow = doneNow[:0]
 		for i := 0; i < len(st.active); i++ {
 			rep := <-reports
-			roundMsgs += rep.msgs
+			roundEmitted += rep.msgs + int64(rep.drops+rep.cuts+rep.delays)
 			st.messages += rep.msgs
 			st.bits += rep.bits
 			if rep.maxBits > st.maxBits {
 				st.maxBits = rep.maxBits
+			}
+			if st.adv != nil {
+				st.adv.mergeRound(rep.drops, rep.cuts, rep.delays, rep.held)
 			}
 			if rep.err != nil && firstErr == nil {
 				firstErr = rep.err
@@ -210,12 +261,34 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 			// delivery, so the coordinator's round wall time is both the
 			// compute and the delivery measurement.
 			wall := time.Since(roundStart).Nanoseconds()
-			st.tel.recordRound(wall, []int64{wall}, []int{int(roundMsgs)},
+			st.tel.recordRound(wall, []int64{wall}, []int{int(roundEmitted)},
 				[]DeliveryMode{DeliverChannels})
 		}
 		if firstErr != nil {
 			stop()
 			return nil, firstErr
+		}
+		if st.adv != nil {
+			// Every surviving goroutine is parked on its start signal (its
+			// report is in), so the boundary's inbox writes are published to
+			// it by the next command send. A crash-stop releases the victim
+			// with nodeStop — from its neighbors' view it simply halted.
+			msgs, bits, maxBits, crashed := st.adv.boundary(r, st.active, st.inbox, nil,
+				func(v int32) { st.done[v] = true; cont[v] <- nodeStop })
+			st.messages += msgs
+			st.bits += bits
+			if maxBits > st.maxBits {
+				st.maxBits = maxBits
+			}
+			if crashed > 0 {
+				live := st.active[:0]
+				for _, v := range st.active {
+					if !st.done[v] {
+						live = append(live, v)
+					}
+				}
+				st.active = live
+			}
 		}
 	}
 	stop()

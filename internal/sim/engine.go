@@ -52,6 +52,14 @@ type Config struct {
 	// performance lever — Results are identical under every policy — and
 	// ignored by the other engines.
 	Reshard ReshardPolicy
+	// Adversary, when non-nil, injects faults into the run — message drops
+	// and delays, crash-stops, edge churn, adversarial stalls — drawing
+	// only from the adversary stream of its SimulationKey, so the
+	// algorithm's coins are untouched (see adversary.go). The faulted run
+	// stays deterministic and scheduler-equivalent, its injections are
+	// recorded in Result.Telemetry.Injected, and a zero-budget adversary
+	// reproduces the fault-free Result bit for bit.
+	Adversary *Adversary
 }
 
 // CongestBits returns the standard CONGEST bandwidth bound used throughout
@@ -145,8 +153,12 @@ type engineState[T any] struct {
 	// debug.go.
 	poison bool
 	// tel is the run's telemetry record, nil unless SetTelemetry was
-	// enabled when the run started (latched by the engine entry points).
-	tel *Telemetry
+	// enabled when the run started (latched by the engine entry points via
+	// initTelemetry) or the run has an adversary, which forces collection.
+	tel     *Telemetry
+	telInit bool
+	// adv is the per-run adversary state, nil for fault-free runs.
+	adv *advState
 
 	running     int
 	rounds      int
@@ -199,6 +211,9 @@ func newEngineState[T any](cfg Config, factory func(v int) NodeProgram[T]) (*eng
 		ctxs:    make([]NodeCtx, n),
 		poison:  debugOutboxCheck.Load(),
 		running: n,
+	}
+	if cfg.Adversary != nil {
+		st.adv = cfg.Adversary.newState(off, adjf, rev, st.done)
 	}
 	for v := range st.active {
 		st.active[v] = int32(v)
@@ -284,6 +299,20 @@ func (st *engineState[T]) step(v, r int) error {
 			return &BandwidthError{Node: v, Round: r, Bits: b, Limit: st.cfg.MaxMessageBits}
 		}
 		i := st.rev[lo+int64(p)]
+		if st.adv != nil {
+			switch f, d := st.adv.fate(r, i); f {
+			case fateDrop:
+				st.adv.roundDrops++
+				continue
+			case fateCut:
+				st.adv.roundCuts++
+				continue
+			case fateDelay:
+				st.adv.roundDelays++
+				st.adv.held = append(st.adv.held, holdMsg(i, r, d, msg))
+				continue
+			}
+		}
 		st.next[i] = msg
 		st.staged = append(st.staged, i)
 		// Tally at stage time, while the header is hot: a staged message is
@@ -331,7 +360,47 @@ func (st *engineState[T]) finishRound() DeliveryMode {
 	return mode
 }
 
+// initTelemetry latches the run's telemetry record once (an adversary
+// forces collection — its injected-event record is part of the run's
+// reproducibility contract) and wires it to the adversary state.
+func (st *engineState[T]) initTelemetry(sched Scheduler, workers int) {
+	if st.telInit {
+		return
+	}
+	st.telInit = true
+	st.tel = newTelemetry(sched, workers, st.adv != nil)
+	if st.adv != nil {
+		st.adv.tel = st.tel
+	}
+}
+
+// adversaryBoundary runs the adversary's between-round step for the
+// sequential engine and folds its late-delivery tallies and crash-stops
+// into the engine state.
+func (st *engineState[T]) adversaryBoundary(r int) {
+	msgs, bits, maxBits, crashed := st.adv.boundary(r, st.active, st.inbox,
+		func(slot int32) { st.inboxSlots = append(st.inboxSlots, slot) },
+		func(v int32) { st.done[v] = true; st.running-- })
+	st.messages += msgs
+	st.bits += bits
+	if maxBits > st.maxBits {
+		st.maxBits = maxBits
+	}
+	if crashed > 0 {
+		live := st.active[:0]
+		for _, v := range st.active {
+			if !st.done[v] {
+				live = append(live, v)
+			}
+		}
+		st.active = live
+	}
+}
+
 func (st *engineState[T]) result() *Result[T] {
+	if st.adv != nil {
+		st.adv.finish(st.rounds - 1)
+	}
 	outputs := make([]T, st.n)
 	for v := range outputs {
 		outputs[v] = st.progs[v].Output()
@@ -376,14 +445,18 @@ func (st *engineState[T]) runSequential(maxRounds int) (*Result[T], error) {
 	if st.next == nil {
 		st.next = make([]Message, len(st.inbox))
 	}
-	if st.tel == nil {
-		st.tel = newTelemetry(Sequential, 1)
-	}
+	st.initTelemetry(Sequential, 1)
 	for r := 0; len(st.active) > 0; r++ {
 		if r >= maxRounds {
 			return nil, &StuckError{MaxRounds: maxRounds, Running: st.running}
 		}
-		st.activeTrace = append(st.activeTrace, len(st.active))
+		activeN := len(st.active)
+		if st.adv != nil {
+			// Stalled nodes stay live but are denied the round: their Round
+			// method is not invoked, so they do not count as active.
+			activeN -= st.adv.stalledCount()
+		}
+		st.activeTrace = append(st.activeTrace, activeN)
 		if r > 0 {
 			// No rotation before round 0: payloads carved during Init share
 			// the first buffer with round 0's and live just as long.
@@ -395,6 +468,10 @@ func (st *engineState[T]) runSequential(maxRounds int) (*Result[T], error) {
 		}
 		live := st.active[:0]
 		for _, v := range st.active {
+			if st.adv != nil && st.adv.stalled[v] {
+				live = append(live, v)
+				continue
+			}
 			if err := st.step(int(v), r); err != nil {
 				return nil, err
 			}
@@ -406,11 +483,19 @@ func (st *engineState[T]) runSequential(maxRounds int) (*Result[T], error) {
 		if st.tel != nil {
 			computeNS := time.Since(roundStart).Nanoseconds()
 			stagedN := len(st.staged)
+			if st.adv != nil {
+				// The staged lane counts what programs emitted, including
+				// what the adversary then dropped, cut or held.
+				stagedN += st.adv.roundDrops + st.adv.roundCuts + st.adv.roundDelays
+			}
 			mode := st.finishRound()
 			st.tel.recordRound(time.Since(roundStart).Nanoseconds(),
 				[]int64{computeNS}, []int{stagedN}, []DeliveryMode{mode})
 		} else {
 			st.finishRound()
+		}
+		if st.adv != nil {
+			st.adversaryBoundary(r)
 		}
 	}
 	return st.result(), nil

@@ -103,7 +103,7 @@ func TestSequentialConcurrentEquivalence(t *testing.T) {
 	rng := prng.New(5)
 	for trial := 0; trial < 5; trial++ {
 		g := graph.GNPConnected(60, 0.06, rng)
-		ids := RandomIDs(g.N(), g.N(), rng)
+		ids := RandomIDs(g.N(), g.N(), NewSimulationKey(rng.Uint64()))
 		rounds := graph.Diameter(g) + 1
 		cfg := Config{Graph: g, IDs: ids}
 		seqRes, err := Run(cfg, floodFactory(rounds))
@@ -163,7 +163,7 @@ func (c *neighborIDCheck) Output() bool { return c.ok }
 func TestPortDeliveryMatchesNeighborIDs(t *testing.T) {
 	rng := prng.New(10)
 	g := graph.GNPConnected(40, 0.15, rng)
-	ids := RandomIDs(g.N(), 7, rng)
+	ids := RandomIDs(g.N(), 7, NewSimulationKey(rng.Uint64()))
 	for name, run := range map[string]func(Config, func(int) NodeProgram[bool]) (*Result[bool], error){
 		"sequential": Run[bool], "concurrent": RunConcurrent[bool],
 	} {
@@ -461,7 +461,7 @@ func TestMessageCodec(t *testing.T) {
 }
 
 func TestRandomIDsInjective(t *testing.T) {
-	ids := RandomIDs(500, 3, prng.New(1))
+	ids := RandomIDs(500, 3, NewSimulationKey(1))
 	seen := map[uint64]bool{}
 	for _, id := range ids {
 		if seen[id] {
@@ -473,7 +473,7 @@ func TestRandomIDsInjective(t *testing.T) {
 		seen[id] = true
 	}
 	// spread < 1 is clamped.
-	ids = RandomIDs(10, 0, prng.New(2))
+	ids = RandomIDs(10, 0, NewSimulationKey(2))
 	if len(ids) != 10 {
 		t.Error("clamped spread failed")
 	}

@@ -1,7 +1,5 @@
 package sim
 
-import "randlocal/internal/prng"
-
 // SequentialIDs assigns identifier v to node v — the default, and the
 // friendliest assignment for ID-based symmetry breaking.
 func SequentialIDs(n int) []uint64 {
@@ -15,11 +13,14 @@ func SequentialIDs(n int) []uint64 {
 // RandomIDs assigns a uniformly random injective identifier from
 // [0, n·spread) to each node. The paper's model assumes identifiers of
 // Θ(log n) bits, i.e. from a polynomial range; spread controls the
-// polynomial (spread = n gives the usual [0, n²) range).
-func RandomIDs(n, spread int, rng *prng.SplitMix64) []uint64 {
+// polynomial (spread = n gives the usual [0, n²) range). The draws come
+// from the key's workload stream, so an ID assignment never consumes — and
+// is never perturbed by — the algorithm's or the adversary's coins.
+func RandomIDs(n, spread int, key SimulationKey) []uint64 {
 	if spread < 1 {
 		spread = 1
 	}
+	rng := key.RNG().Workload()
 	used := make(map[uint64]bool, n)
 	ids := make([]uint64, n)
 	for i := range ids {

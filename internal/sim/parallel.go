@@ -51,6 +51,14 @@ type parallelWorker struct {
 	bits    int64
 	maxBits int
 	halted  int
+	// Per-round adversary accumulators (fault-free runs never touch them):
+	// counts of messages the adversary dropped, cut or held from this
+	// shard's senders, and the held entries themselves, merged by the
+	// coordinator before the round boundary.
+	drops  int
+	cuts   int
+	delays int
+	held   []heldMsg
 	// computeNS is the wall time of this worker's last compute phase. The
 	// spread across the pool is the barrier imbalance the adaptive
 	// re-shard policy weighs against the re-cut price; two clock reads per
@@ -80,6 +88,7 @@ func (w *parallelWorker) compute(st *engineStateCore, r int) {
 	start := time.Now()
 	defer func() { w.computeNS = time.Since(start).Nanoseconds() }()
 	w.msgs, w.bits, w.maxBits, w.halted = 0, 0, 0, 0
+	w.drops, w.cuts, w.delays, w.held = 0, 0, 0, w.held[:0]
 	w.err = nil
 	if r > 0 {
 		// Not before round 0: Init-time carves (which land in the engine
@@ -94,6 +103,13 @@ func (w *parallelWorker) compute(st *engineStateCore, r int) {
 	live := w.active[:0]
 	for _, v32 := range w.active {
 		v := int(v32)
+		if st.adv != nil && st.adv.stalled[v] {
+			// Denied the round by the adversarial scheduler: stays live,
+			// does not compute, does not count as active.
+			w.activeN--
+			live = append(live, v32)
+			continue
+		}
 		out, nodeDone := st.round(v, r)
 		lo := st.off[v]
 		if deg := int(st.off[v+1] - lo); len(out) > deg {
@@ -121,6 +137,20 @@ func (w *parallelWorker) compute(st *engineStateCore, r int) {
 				break
 			}
 			i := lo + int64(p)
+			if st.adv != nil {
+				switch f, d := st.adv.fate(r, st.rev[i]); f {
+				case fateDrop:
+					w.drops++
+					continue
+				case fateCut:
+					w.cuts++
+					continue
+				case fateDelay:
+					w.delays++
+					w.held = append(w.held, holdMsg(st.rev[i], r, d, msg))
+					continue
+				}
+			}
 			s := st.shardOf[st.adj[i]]
 			w.outbox[s] = append(w.outbox[s], stagedMsg{idx: st.rev[i], msg: msg})
 			// Tally at stage time, while the header is hot: the counters
@@ -193,7 +223,11 @@ type engineStateCore struct {
 	shardOf        []int32
 	maxMessageBits int
 	poison         bool // poisoned-Outbox debug check (see debug.go)
-	round          func(v, r int) ([]Message, bool)
+	// adv is the run's adversary state (nil when fault-free). Workers call
+	// only its pure fate hash and read stalled flags, both stable within a
+	// round; every mutation happens at the coordinator's round boundary.
+	adv   *advState
+	round func(v, r int) ([]Message, bool)
 }
 
 // RunParallel executes the network with a sharded worker-pool engine: nodes
@@ -253,7 +287,7 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 		// A one-worker pool is the sequential schedule; skip the barriers,
 		// but keep the telemetry labeled with the engine the caller asked
 		// for (one lane; cfg.Reshard is moot without shards).
-		st.tel = newTelemetry(Parallel, 1)
+		st.initTelemetry(Parallel, 1)
 		return st.runSequential(maxRounds)
 	}
 
@@ -286,6 +320,7 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 		shardOf:        shardOf,
 		maxMessageBits: cfg.MaxMessageBits,
 		poison:         st.poison,
+		adv:            st.adv,
 		round:          st.roundFor,
 	}
 
@@ -388,7 +423,7 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 			owner.inboxSlots = append(owner.inboxSlots, i)
 		}
 	}
-	st.tel = newTelemetry(Parallel, workers)
+	st.initTelemetry(Parallel, workers)
 	var computeScratch []int64
 	var stagedScratch []int
 	var modeScratch []DeliveryMode
@@ -442,6 +477,9 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 			if w.maxBits > st.maxBits {
 				st.maxBits = w.maxBits
 			}
+			if st.adv != nil {
+				st.adv.mergeRound(w.drops, w.cuts, w.delays, w.held)
+			}
 			if w.computeNS > maxComputeNS {
 				maxComputeNS = w.computeNS
 			}
@@ -452,7 +490,9 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 		if st.tel != nil {
 			for i, w := range pool {
 				computeScratch[i] = w.computeNS
-				stagedScratch[i] = int(w.msgs)
+				// The staged lane counts what the shard's programs emitted,
+				// including what the adversary then dropped, cut or held.
+				stagedScratch[i] = int(w.msgs) + w.drops + w.cuts + w.delays
 				if w.denseInbox {
 					modeScratch[i] = DeliverDense
 				} else {
@@ -460,6 +500,49 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 				}
 			}
 			st.tel.recordRound(time.Since(roundStart).Nanoseconds(), computeScratch, stagedScratch, modeScratch)
+		}
+		if st.adv != nil {
+			// Round boundary: all workers are parked on their command
+			// channels, so the adversary's inbox writes, crash-stops and
+			// stall picks are single-threaded; the next phase commands
+			// publish them to the pool.
+			var advLive []int32
+			if st.adv.cfg.CrashPerRound > 0 || st.adv.cfg.StallPerRound > 0 {
+				lv := liveScratch[:0]
+				for _, w := range pool {
+					lv = append(lv, w.active...)
+				}
+				liveScratch = lv
+				advLive = lv
+			}
+			msgs, bits, maxBits, crashed := st.adv.boundary(r, advLive, st.inbox,
+				func(slot int32) {
+					owner := pool[shardOf[st.adjf[st.rev[slot]]]]
+					if !owner.denseInbox {
+						owner.inboxSlots = append(owner.inboxSlots, slot)
+					}
+				},
+				func(v int32) {
+					st.done[v] = true
+					st.running--
+				})
+			st.messages += msgs
+			st.bits += bits
+			if maxBits > st.maxBits {
+				st.maxBits = maxBits
+			}
+			if crashed > 0 {
+				for _, w := range pool {
+					liveSeg := w.active[:0]
+					for _, v := range w.active {
+						if !st.done[v] {
+							liveSeg = append(liveSeg, v)
+						}
+					}
+					w.active = liveSeg
+				}
+				liveN -= crashed
+			}
 		}
 		// Re-shard decision. Below one live node per worker the tail is
 		// trivial and no policy cuts again; otherwise the halving rule

@@ -117,7 +117,7 @@ func TestSchedulerEquivalence(t *testing.T) {
 	}
 	for _, tg := range graphs {
 		n := tg.g.N()
-		ids := RandomIDs(n, n, prng.New(uint64(n)))
+		ids := RandomIDs(n, n, NewSimulationKey(uint64(n)))
 		factory := func(int) NodeProgram[uint64] { return &randFlood{rounds: graph.Diameter(tg.g) + 1} }
 		for _, reg := range regimes {
 			t.Run(tg.name+"/"+reg.name, func(t *testing.T) {
@@ -198,7 +198,7 @@ func TestSchedulerEquivalenceWithCtxOutbox(t *testing.T) {
 		graph.Grid2D(9, 13, true),
 	} {
 		n := g.N()
-		ids := RandomIDs(n, n, prng.New(uint64(n)))
+		ids := RandomIDs(n, n, NewSimulationKey(uint64(n)))
 		cfg := Config{Graph: g, IDs: ids, MaxMessageBits: CongestBits(n)}
 		factory := func(int) NodeProgram[uint64] { return &outboxFlood{rounds: graph.Diameter(g) + 1} }
 		want, err := Run(cfg, factory)
@@ -240,7 +240,7 @@ func TestRunParallelReshardEquivalence(t *testing.T) {
 	} {
 		t.Run(tg.name, func(t *testing.T) {
 			n := tg.g.N()
-			ids := RandomIDs(n, 3, prng.New(uint64(n)*7+5))
+			ids := RandomIDs(n, 3, NewSimulationKey(uint64(n)*7+5))
 			cfg := Config{Graph: tg.g, IDs: ids, MaxMessageBits: CongestBits(n)}
 			factory := func(int) NodeProgram[uint64] { return &staggeredHalt{} }
 			want, err := Run(cfg, factory)

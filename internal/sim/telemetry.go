@@ -32,6 +32,13 @@ type Telemetry struct {
 	// order (strictly increasing Round). Empty for the other engines and
 	// under ReshardOff.
 	Reshards []ReshardEvent
+	// Injected lists the adversary's fault injections (see adversary.go),
+	// aggregated per round and kind, non-decreasing in Round (strictly
+	// increasing per Kind). Unlike the wall-clock fields, identical across
+	// schedulers for the same Config. A run with a Config.Adversary always
+	// collects telemetry (the injected record is part of the run's
+	// reproducibility story), even when SetTelemetry is off.
+	Injected []InjectedEvent
 }
 
 // RoundStats is one round's measurement across the telemetry lanes. All
@@ -105,11 +112,12 @@ func SetTelemetry(on bool) { telemetryEnabled.Store(on) }
 // TelemetryEnabled reports the current setting.
 func TelemetryEnabled() bool { return telemetryEnabled.Load() }
 
-// newTelemetry returns a fresh record when collection is enabled, else nil.
-// Engines call it once at run start; a nil receiver disables every record
-// method, so the hot loops guard with a single pointer test.
-func newTelemetry(sched Scheduler, workers int) *Telemetry {
-	if !telemetryEnabled.Load() {
+// newTelemetry returns a fresh record when collection is enabled (or forced
+// — runs with an adversary always collect), else nil. Engines call it once
+// at run start; a nil receiver disables every record method, so the hot
+// loops guard with a single pointer test.
+func newTelemetry(sched Scheduler, workers int, force bool) *Telemetry {
+	if !force && !telemetryEnabled.Load() {
 		return nil
 	}
 	return &Telemetry{Scheduler: sched, Workers: workers}
@@ -127,6 +135,14 @@ func (t *Telemetry) recordRound(wallNS int64, computeNS []int64, staged []int, m
 		Staged:    append([]int(nil), staged...),
 		Mode:      append([]DeliveryMode(nil), mode...),
 	})
+}
+
+// recordInjected appends one aggregated fault-injection event.
+func (t *Telemetry) recordInjected(round int, kind InjectKind, count int) {
+	if t == nil {
+		return
+	}
+	t.Injected = append(t.Injected, InjectedEvent{Round: round, Kind: kind, Count: count})
 }
 
 // recordReshard appends one re-cut event.

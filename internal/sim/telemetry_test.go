@@ -108,7 +108,7 @@ func TestTelemetryInvariants(t *testing.T) {
 	rng := prng.New(99)
 	g := graph.GNPConnected(300, 0.03, rng)
 	n := g.N()
-	ids := RandomIDs(n, 4, prng.New(17))
+	ids := RandomIDs(n, 4, NewSimulationKey(17))
 	cfg := Config{Graph: g, IDs: ids, MaxMessageBits: CongestBits(n)}
 	factory := func(int) NodeProgram[uint64] { return &staggeredHalt{} }
 	withTelemetry(t, func() {
@@ -299,7 +299,7 @@ func TestReshardPolicyEquivalence(t *testing.T) {
 	} {
 		t.Run(tg.name, func(t *testing.T) {
 			n := tg.g.N()
-			ids := RandomIDs(n, 3, prng.New(uint64(n)*7+5))
+			ids := RandomIDs(n, 3, NewSimulationKey(uint64(n)*7+5))
 			cfg := Config{Graph: tg.g, IDs: ids, MaxMessageBits: CongestBits(n)}
 			factory := func(int) NodeProgram[uint64] { return &staggeredHalt{} }
 			want, err := Run(cfg, factory)

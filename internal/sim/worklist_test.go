@@ -73,7 +73,7 @@ func TestWorklistStaggeredTermination(t *testing.T) {
 	} {
 		t.Run(tg.name, func(t *testing.T) {
 			n := tg.g.N()
-			ids := RandomIDs(n, 4, prng.New(uint64(n)*3+1))
+			ids := RandomIDs(n, 4, NewSimulationKey(uint64(n)*3+1))
 
 			// Engine-independent prediction of the live-fringe trajectory.
 			maxHalt := 0

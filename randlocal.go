@@ -125,6 +125,67 @@ func NewKWise(k int, m uint, rng *RNG) (*KWise, error) { return randomness.NewKW
 // NewEpsBias draws a fresh small-bias generator over GF(2^m).
 func NewEpsBias(m uint, rng *RNG) (*EpsBias, error) { return randomness.NewEpsBias(m, rng) }
 
+// --- Reproducibility keys and the adversary --------------------------------
+
+// SimulationKey is the single reproducibility handle of a run: algorithm
+// coins, adversary coins, workload generation and scheduling jitter all
+// derive from it through isolated per-subsystem streams, so consuming one
+// stream never perturbs another. NewSimulationKey(s).FullSource() is
+// bit-identical to NewFullRandomness(s) — old seeds keep reproducing old
+// runs.
+type SimulationKey = sim.SimulationKey
+
+// PartitionedRNG hands out the per-subsystem generators of one key.
+type PartitionedRNG = sim.PartitionedRNG
+
+// Subsystem names one isolated randomness stream of a run key.
+type Subsystem = sim.Subsystem
+
+// The subsystems a SimulationKey partitions its randomness into.
+const (
+	StreamAlgorithm   = sim.StreamAlgorithm
+	StreamAdversary   = sim.StreamAdversary
+	StreamWorkload    = sim.StreamWorkload
+	StreamShardJitter = sim.StreamShardJitter
+)
+
+// NewSimulationKey wraps a master seed as a run key.
+var NewSimulationKey = sim.NewSimulationKey
+
+// Adversary is an immutable fault-injection plan for SimConfig.Adversary:
+// message drops and delays, crash-stops, edge churn, and adversarial stalls,
+// all drawn from the adversary stream of a SimulationKey so the algorithm's
+// coins are untouched. Faulted runs stay deterministic and
+// scheduler-equivalent; injections are recorded in Telemetry.Injected.
+type Adversary = sim.Adversary
+
+// AdversaryConfig sets an Adversary's per-round fault budgets.
+type AdversaryConfig = sim.AdversaryConfig
+
+// NewAdversary builds an adversary from a key's adversary stream and the
+// given budgets.
+var NewAdversary = sim.NewAdversary
+
+// InjectedEvent is one aggregated fault record in Telemetry.Injected.
+type InjectedEvent = sim.InjectedEvent
+
+// InjectKind names one category of injected fault event.
+type InjectKind = sim.InjectKind
+
+// The fault-event categories.
+const (
+	InjectDrop      = sim.InjectDrop
+	InjectCut       = sim.InjectCut
+	InjectDelay     = sim.InjectDelay
+	InjectSupersede = sim.InjectSupersede
+	InjectExpire    = sim.InjectExpire
+	InjectChurnDown = sim.InjectChurnDown
+	InjectChurnUp   = sim.InjectChurnUp
+	InjectCrash     = sim.InjectCrash
+	InjectStall     = sim.InjectStall
+	InjectStallLoss = sim.InjectStallLoss
+)
+
 // --- The LOCAL/CONGEST simulator --------------------------------------------
 
 // SimConfig configures a simulation (graph, IDs, randomness, bandwidth).
@@ -452,4 +513,17 @@ var (
 	CheckMISDistributed       = check.MISDistributed
 	CheckColoringDistributed  = check.ColoringDistributed
 	CheckDecompositionDistrib = check.DecompositionDistributed
+
+	// The Opts variants run the same checker programs on a configured
+	// network — attach a CheckOptions.Adversary to exercise a checker as a
+	// one-sided oracle over a faulty network (false-rejects possible, false
+	// accepts never).
+	CheckMISDistributedOpts       = check.MISDistributedOpts
+	CheckColoringDistributedOpts  = check.ColoringDistributedOpts
+	CheckDecompositionDistribOpts = check.DecompositionDistributedOpts
+	CheckSplittingDistributedOpts = check.SplittingDistributedOpts
 )
+
+// CheckOptions configures the verification network the *DistributedOpts
+// checkers run on.
+type CheckOptions = check.Options

@@ -13,12 +13,12 @@
 #      stable fields, ignoring wall-clock metadata).
 #
 # Usage: scripts/experiments_smoke.sh [outdir]
-# Env:   EXPERIMENTS_SMOKE_SUBSET  comma-separated IDs (default E3,E5,E11)
+# Env:   EXPERIMENTS_SMOKE_SUBSET  comma-separated IDs (default E3,E5,E11,E12)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-experiments-smoke-out}"
-SUBSET="${EXPERIMENTS_SMOKE_SUBSET:-E3,E5,E11}"
+SUBSET="${EXPERIMENTS_SMOKE_SUBSET:-E3,E5,E11,E12}"
 rm -rf "$OUT"
 mkdir -p "$OUT"
 
@@ -38,5 +38,11 @@ if [ -f "$OUT/resume/records.json" ]; then
 fi
 go run ./cmd/experiments -quick -experiment "$SUBSET" -out "$OUT/resume"
 go run ./cmd/experiments -diff "$OUT/full/records.json" "$OUT/resume/records.json"
+
+echo "== faulted-sweep checkpoint/resume (E12 interrupted mid-sweep)"
+go run ./cmd/experiments -quick -experiment E12 -out "$OUT/e12full"
+go run ./cmd/experiments -quick -experiment E12 -out "$OUT/e12resume" -limit 7
+go run ./cmd/experiments -quick -experiment E12 -out "$OUT/e12resume"
+go run ./cmd/experiments -diff "$OUT/e12full/records.json" "$OUT/e12resume/records.json"
 
 echo "experiments smoke: OK (records in $OUT/full)"
