@@ -547,3 +547,73 @@ func BenchmarkRunParallelStaggeredPolicy(b *testing.B) {
 		})
 	}
 }
+
+// lubyBitBench pins the benchmark shape of the 1-bit Luby rows: both
+// the packed row and its unpacked baseline run the exact same program on the
+// same graph with the same seeds, so the Results are byte-identical and the
+// ns/op delta isolates the message-plane representation.
+func lubyBitBench(b *testing.B, n int, unpacked bool) {
+	skipHeavy(b, n)
+	g := benchEngineGraph(n)
+	cfg := SimConfig{Graph: g, MaxMessageBits: CongestBits(n), Unpacked: unpacked}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Source = NewFullRandomness(uint64(i) + 1)
+		res, err := Run(cfg, NewLubyBitProgramSlab(n, LubyBitConfig{}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Messages), "msgs")
+		b.ReportMetric(float64(res.Rounds), "rounds")
+	}
+}
+
+// BenchmarkLuby is the unpacked baseline of the bit-plane comparison: the
+// coin-flip 1-bit Luby program with SimConfig.Unpacked set, so every message
+// occupies a full Message slot and delivery walks slots one at a time.
+func BenchmarkLuby(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 20} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { lubyBitBench(b, n, true) })
+	}
+}
+
+// BenchmarkLubyPacked is the same program over packed bit planes (the
+// default once every program declares PayloadBits() = 1): delivery and the
+// coin/status scans run word-parallel, 64 half-edge lanes at a time.
+func BenchmarkLubyPacked(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 20} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { lubyBitBench(b, n, false) })
+	}
+}
+
+// BenchmarkFloodMinBit measures the pure-messaging 1-bit workload — a
+// fixed-round AND-flood where every node broadcasts every round — packed
+// against unpacked, at the engine-scaling sizes. This is the densest load
+// the bit planes see: every half-edge lane carries a bit every round.
+func BenchmarkFloodMinBit(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 20} {
+		for _, mode := range []struct {
+			name     string
+			unpacked bool
+		}{{"packed", false}, {"unpacked", true}} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode.name), func(b *testing.B) {
+				skipHeavy(b, n)
+				g := benchEngineGraph(n)
+				cfg := SimConfig{Graph: g, MaxMessageBits: CongestBits(n), Unpacked: mode.unpacked}
+				slab := make([]FloodMinBitProgram, n)
+				factory := func(v int) NodeProgram[uint64] {
+					slab[v] = FloodMinBitProgram{Rounds: benchFloodRounds, Bit: uint64(v) & 1}
+					return &slab[v]
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := Run(cfg, factory)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.Messages), "msgs")
+				}
+			})
+		}
+	}
+}

@@ -42,13 +42,13 @@ func run(args []string) error {
 	n := fs.Int("n", 512, "number of nodes (grid rounds to a square)")
 	p := fs.Float64("p", 0.0, "edge probability for gnp (0 = 4/n)")
 	deg := fs.Int("deg", 3, "degree for regular graphs")
-	algo := fs.String("algo", "en", "algorithm: en | lowrand | strong37 | sharedrand | shattering | detdecomp | mpx | sinkless | luby | coloring | derand-mis | derand-coloring")
+	algo := fs.String("algo", "en", "algorithm: en | lowrand | strong37 | sharedrand | shattering | detdecomp | mpx | sinkless | luby | lubybit | coloring | derand-mis | derand-coloring")
 	h := fs.Int("h", 2, "bit-holder sparseness for lowrand/strong37")
 	seed := fs.Uint64("seed", 1, "random seed")
 	scheduler := fs.String("scheduler", "sequential", "simulation engine: sequential | concurrent | parallel")
 	workers := fs.Int("workers", 0, "worker-pool size for -scheduler parallel (0 = GOMAXPROCS)")
 	reshard := fs.String("reshard", "adaptive", "parallel re-shard policy: adaptive | halving | off")
-	telemetry := fs.Bool("telemetry", false, "collect per-round scheduling telemetry; prints a summary for the single-simulation algorithms (en, luby, coloring)")
+	telemetry := fs.Bool("telemetry", false, "collect per-round scheduling telemetry and print a summary for the single-simulation algorithms (en, luby, lubybit, coloring); delivery modes are packed (bit planes), dense (plane sweep), sparse (staged-slot walk) and channels (concurrent engine)")
 	drop := fs.Float64("drop", 0, "adversary: per-message drop probability (en, luby, coloring)")
 	delay := fs.Float64("delay", 0, "adversary: per-message delay probability")
 	delayMax := fs.Int("delaymax", 2, "adversary: max extra rounds a delayed message is held")
@@ -90,9 +90,9 @@ func run(args []string) error {
 			return err
 		}
 		switch *algo {
-		case "en", "luby", "coloring":
+		case "en", "luby", "lubybit", "coloring":
 		default:
-			return fmt.Errorf("adversary flags apply to -algo en, luby or coloring, not %q", *algo)
+			return fmt.Errorf("adversary flags apply to -algo en, luby, lubybit or coloring, not %q", *algo)
 		}
 	}
 
@@ -243,6 +243,35 @@ func run(args []string) error {
 		printTelemetry(res.Telemetry)
 		fmt.Printf("Luby MIS: valid, |MIS|=%d rounds=%d trueBits=%d\n", size, res.Rounds, src.Ledger().TrueBits())
 		return nil
+	case "lubybit":
+		src := randomness.NewFull(*seed)
+		in, res, err := mis.LubyBit(g, src, nil, mis.LubyBitConfig{Adversary: adv})
+		if err != nil {
+			if adv == nil || res == nil {
+				return err
+			}
+			printTelemetry(res.Telemetry)
+			fmt.Printf("LubyBit MIS under faults: INCOMPLETE (%v) rounds=%d\n", err, res.Rounds)
+			return nil
+		}
+		if err := check.MIS(g, in); err != nil {
+			if adv != nil {
+				printTelemetry(res.Telemetry)
+				fmt.Printf("LubyBit MIS under faults: INVALID (%v) rounds=%d\n", err, res.Rounds)
+				return nil
+			}
+			return fmt.Errorf("invalid MIS: %w", err)
+		}
+		size := 0
+		for _, b := range in {
+			if b {
+				size++
+			}
+		}
+		printTelemetry(res.Telemetry)
+		fmt.Printf("LubyBit MIS (1-bit messages): valid, |MIS|=%d rounds=%d messages=%d bits=%d trueBits=%d\n",
+			size, res.Rounds, res.Messages, res.BitsTotal, src.Ledger().TrueBits())
+		return nil
 	case "coloring":
 		src := randomness.NewFull(*seed)
 		colors, res, err := coloring.Randomized(g, src, nil, coloring.Config{Adversary: adv})
@@ -301,7 +330,7 @@ func printTelemetry(tel *sim.Telemetry) {
 		return
 	}
 	var computeNS, idleNS, wallNS int64
-	dense, sparse := 0, 0
+	packed, dense, sparse := 0, 0, 0
 	for _, rs := range tel.Rounds {
 		wallNS += rs.WallNS
 		var maxC int64
@@ -314,6 +343,8 @@ func printTelemetry(tel *sim.Telemetry) {
 		idleNS += maxC*int64(tel.Workers) - sumInt64(rs.ComputeNS)
 		for _, m := range rs.Mode {
 			switch m {
+			case sim.DeliverPacked:
+				packed++
 			case sim.DeliverDense:
 				dense++
 			case sim.DeliverSparse:
@@ -324,8 +355,8 @@ func printTelemetry(tel *sim.Telemetry) {
 	fmt.Printf("telemetry: scheduler=%v workers=%d rounds=%d wall=%.1fms compute=%.1fms barrier-idle=%.1fms\n",
 		tel.Scheduler, tel.Workers, len(tel.Rounds),
 		float64(wallNS)/1e6, float64(computeNS)/1e6, float64(idleNS)/1e6)
-	if dense+sparse > 0 {
-		fmt.Printf("telemetry: delivery modes: %d dense / %d sparse (per worker-round)\n", dense, sparse)
+	if packed+dense+sparse > 0 {
+		fmt.Printf("telemetry: delivery modes: %d packed / %d dense / %d sparse (per worker-round)\n", packed, dense, sparse)
 	}
 	for _, ev := range tel.Reshards {
 		fmt.Printf("telemetry: reshard after round %d over %d live nodes (cost %.2fms, imbalance debt %.2fms)\n",

@@ -15,33 +15,36 @@ import (
 
 // misChecker is the 1-round checker for MIS: exchange membership; a member
 // with a member neighbor says no; a non-member with no member neighbor
-// says no.
+// says no. The exchanged membership indicator is a single bit, so the
+// checker declares PayloadBits() = 1 and the engines run it over packed
+// bit planes; the neighbor scan then ORs whole inbox words — a set value
+// bit anywhere means some neighbor is in the set.
 type misChecker struct {
 	ctx    *sim.NodeCtx
 	inMIS  bool
 	answer bool
 }
 
+// PayloadBits declares the 1-bit payload width that lets the engines pack
+// this checker's message planes into bitmaps.
+func (c *misChecker) PayloadBits() int { return 1 }
+
 func (c *misChecker) Init(ctx *sim.NodeCtx) { c.ctx = ctx; c.answer = true }
 
-func (c *misChecker) Round(r int, inbox []sim.Message) ([]sim.Message, bool) {
+func (c *misChecker) Round(r int, _ []sim.Message) ([]sim.Message, bool) {
 	if r == 0 {
 		bit := uint64(0)
 		if c.inMIS {
 			bit = 1
 		}
-		return c.ctx.Broadcast(c.ctx.Uints(bit)), false
+		return c.ctx.BroadcastBit(bit), false
 	}
-	neighborIn := false
-	for _, m := range inbox {
-		if m == nil {
-			continue
-		}
-		b, _, ok := sim.ReadUint(m)
-		if ok && b == 1 {
-			neighborIn = true
-		}
+	var in uint64
+	for j := 0; j < c.ctx.BitWords(); j++ {
+		pres, val := c.ctx.InBitWord(j)
+		in |= pres & val
 	}
+	neighborIn := in != 0
 	switch {
 	case c.inMIS && neighborIn:
 		c.answer = false // independence violated

@@ -38,6 +38,29 @@ func TestCheckerRoundsAllocNothing(t *testing.T) {
 		}
 	})
 
+	t.Run("mis-packed", func(t *testing.T) {
+		// The checker declares PayloadBits() = 1, so the engines run it over
+		// packed planes: both its rounds — bit broadcast and word scan — must
+		// stay at zero allocations in that mode too.
+		ctx, setIn, reset := sim.NewPackedBenchCtx(70, 4, 64, nil)
+		c := &misChecker{inMIS: true}
+		c.Init(ctx)
+		if avg := testing.AllocsPerRun(100, func() {
+			reset()
+			c.Round(0, nil)
+		}); avg != 0 {
+			t.Errorf("packed MIS checker broadcast allocates %.1f times, want 0", avg)
+		}
+		if avg := testing.AllocsPerRun(100, func() {
+			reset()
+			setIn(66, 1) // a member neighbor past the first inbox word
+			c.Round(1, nil)
+			c.answer = true
+		}); avg != 0 {
+			t.Errorf("packed MIS checker scan allocates %.1f times, want 0", avg)
+		}
+	})
+
 	t.Run("coloring", func(t *testing.T) {
 		ctx, rotate := sim.NewBenchCtx(deg, 4, 64, nil)
 		c := &coloringChecker{color: 2, maxColors: 8}

@@ -42,6 +42,38 @@ func (g *Graph) ShardBounds(k int) []int {
 	return bounds
 }
 
+// ShardWordBounds maps node shard boundaries (as returned by ShardBounds or
+// ShardBoundsLive) to word boundaries of a packed half-edge plane that stores
+// 64 half-edge lanes per uint64 word: wb[i] = ⌈off[bounds[i]]/64⌉, with
+// wb[0] = 0 and wb[k] covering the whole plane. The word ranges
+// [wb[i], wb[i+1]) partition the plane's words, so an engine that packs its
+// message lanes into bitmaps can give each shard an exclusive word window —
+// no two shards ever share a word, hence concurrent scatter needs no atomics
+// — at the price of shifting ownership of at most 63 boundary slots per cut
+// to the lower shard. wb is ascending because off is; empty word ranges are
+// allowed (a shard whose half-edges all sit inside its neighbors' boundary
+// words owns no word).
+func (g *Graph) ShardWordBounds(bounds []int) []int {
+	return g.ShardWordBoundsInto(bounds, nil)
+}
+
+// ShardWordBoundsInto is ShardWordBounds with caller-owned scratch, for
+// engines that re-cut repeatedly; words is grown as needed and returned.
+func (g *Graph) ShardWordBoundsInto(bounds, words []int) []int {
+	if cap(words) < len(bounds) {
+		words = make([]int, len(bounds))
+	} else {
+		words = words[:len(bounds)]
+	}
+	for i, b := range bounds {
+		words[i] = int((g.off[b] + 63) >> 6)
+	}
+	if len(words) > 0 {
+		words[0] = 0
+	}
+	return words
+}
+
 // ShardBoundsLive re-cuts the node range [0, n) into k contiguous shards of
 // near-equal *surviving* half-edge count: live is the ascending list of node
 // indices still running, and each boundary is placed between live nodes so

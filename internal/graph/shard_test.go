@@ -288,3 +288,60 @@ func starEdges(n int) [][2]int {
 	}
 	return edges
 }
+
+// TestShardWordBounds checks the word-boundary mapping the packed parallel
+// engine hands its workers: ascending, spanning exactly the plane's words,
+// and consistent with the node bounds — every half-edge of shard i's nodes
+// lives at a word index in [wb[i], wb[i+1]) except the at-most-63 boundary
+// slots that shift into the lower shard's last word.
+func TestShardWordBounds(t *testing.T) {
+	rng := prng.New(71)
+	graphs := []struct {
+		name string
+		g    *Graph
+	}{
+		{"ring-odd", Ring(67)},
+		{"gnp", GNPConnected(130, 0.05, rng)},
+		{"powerlaw", PowerLaw(150, 3, rng)},
+		{"star", FromEdges(50, starEdges(50))},
+		{"edgeless", NewBuilder(20).Graph()},
+	}
+	for _, tg := range graphs {
+		n := tg.g.N()
+		off, _, _ := tg.g.CSR()
+		planeWords := (len(tg.g.adj) + 63) >> 6
+		for _, k := range []int{1, 2, 3, 7, n} {
+			bounds := tg.g.ShardBounds(k)
+			wb := tg.g.ShardWordBounds(bounds)
+			if len(wb) != k+1 {
+				t.Fatalf("%s k=%d: %d word bounds", tg.name, k, len(wb))
+			}
+			if wb[0] != 0 || wb[k] != planeWords {
+				t.Errorf("%s k=%d: word span [%d,%d], want [0,%d]", tg.name, k, wb[0], wb[k], planeWords)
+			}
+			for i := 0; i < k; i++ {
+				if wb[i+1] < wb[i] {
+					t.Errorf("%s k=%d: descending word bound %d: %d > %d", tg.name, k, i, wb[i], wb[i+1])
+				}
+				// Consistency: wb[i+1] is the rounded-up word of the node
+				// boundary, so no half-edge of shard i sits at or past word
+				// wb[i+1] — at most 63 boundary slots shift downward, never up.
+				if want := int((off[bounds[i+1]] + 63) >> 6); wb[i+1] != want {
+					t.Errorf("%s k=%d: word bound %d = %d, want ⌈off/64⌉ = %d",
+						tg.name, k, i+1, wb[i+1], want)
+				}
+			}
+			// Scratch reuse returns identical bounds without reallocating.
+			scratch := make([]int, 0, k+1)
+			wb2 := tg.g.ShardWordBoundsInto(bounds, scratch)
+			for i := range wb {
+				if wb2[i] != wb[i] {
+					t.Fatalf("%s k=%d: Into mismatch at %d: %d != %d", tg.name, k, i, wb2[i], wb[i])
+				}
+			}
+			if k+1 <= cap(scratch) && &wb2[0] != &scratch[:1][0] {
+				t.Errorf("%s k=%d: ShardWordBoundsInto reallocated despite capacity", tg.name, k)
+			}
+		}
+	}
+}

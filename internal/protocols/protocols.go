@@ -54,6 +54,57 @@ func (f *FloodMinProgram) Round(r int, inbox []sim.Message) ([]sim.Message, bool
 // Output returns the minimum identifier heard.
 func (f *FloodMinProgram) Output() uint64 { return f.best }
 
+// FloodMinBitProgram is the 1-bit restriction of FloodMin: every node holds
+// one input bit and floods the global AND (the minimum over bits) for a fixed
+// number of rounds — with rounds ≥ the component diameter every node learns
+// whether any node of its component holds a 0. It declares PayloadBits() = 1,
+// so the sequential and parallel engines run it over packed bit planes, and
+// its absorb step is branch-free: a received 0 is a present bit whose value
+// bit is clear, so `present &^ value` over each inbox word finds all
+// min-lowering arrivals 64 ports at a time.
+type FloodMinBitProgram struct {
+	Rounds int
+	Bit    uint64
+	ctx    *sim.NodeCtx
+}
+
+// NewFloodMinBit returns the program with the given input bit; rounds 0
+// means ctx.N (always enough).
+func NewFloodMinBit(bit uint64, rounds int) *FloodMinBitProgram {
+	return &FloodMinBitProgram{Rounds: rounds, Bit: bit & 1}
+}
+
+// PayloadBits declares the 1-bit payload width that lets the engines pack
+// this program's message planes into bitmaps.
+func (f *FloodMinBitProgram) PayloadBits() int { return 1 }
+
+func (f *FloodMinBitProgram) Init(ctx *sim.NodeCtx) {
+	f.ctx = ctx
+	if f.Rounds == 0 {
+		f.Rounds = ctx.N
+	}
+}
+
+// Round implements sim.NodeProgram.
+func (f *FloodMinBitProgram) Round(r int, _ []sim.Message) ([]sim.Message, bool) {
+	var lowered uint64
+	for j := 0; j < f.ctx.BitWords(); j++ {
+		pres, val := f.ctx.InBitWord(j)
+		lowered |= pres &^ val
+	}
+	if lowered != 0 {
+		f.Bit = 0
+	}
+	if r >= f.Rounds {
+		return nil, true
+	}
+	return f.ctx.BroadcastBit(f.Bit), false
+}
+
+// Output returns the bit after flooding: the AND over the component (given
+// enough rounds).
+func (f *FloodMinBitProgram) Output() uint64 { return f.Bit }
+
 // BFSOutput is the per-node result of the BFS-tree protocol.
 type BFSOutput struct {
 	// Dist is the hop distance from the root (-1 when unreached).
@@ -205,6 +256,23 @@ func BFSTree(g *graph.Graph, rootID uint64, ids []uint64) ([]BFSOutput, *sim.Res
 		MaxMessageBits: sim.CongestBits(g.N()),
 	}, func(int) sim.NodeProgram[BFSOutput] {
 		return &bfsTree{RootID: rootID}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Outputs, res, nil
+}
+
+// FloodMinBit floods the global AND of the given input bits for the given
+// number of rounds (0 = n, always sufficient) and reports each node's
+// resulting bit. Every program declares a 1-bit payload width, so the
+// sequential and parallel engines execute the flood over packed bit planes.
+func FloodMinBit(g *graph.Graph, bits []uint64, rounds int) ([]uint64, *sim.Result[uint64], error) {
+	res, err := sim.Execute(sim.Config{
+		Graph:          g,
+		MaxMessageBits: sim.CongestBits(g.N()),
+	}, func(v int) sim.NodeProgram[uint64] {
+		return NewFloodMinBit(bits[v], rounds)
 	})
 	if err != nil {
 		return nil, nil, err

@@ -148,3 +148,85 @@ func TestValidateCatchesCorruption(t *testing.T) {
 		t.Error("corrupted distance accepted")
 	}
 }
+
+// TestFloodMinBit checks the 1-bit AND-flood: with enough rounds every node
+// learns the AND over its component; with a short budget information travels
+// exactly as far as the round count allows.
+func TestFloodMinBit(t *testing.T) {
+	// Two components: a ring carrying one 0 (AND = 0) and a path of all 1s
+	// (AND = 1).
+	g := graph.Disjoint(graph.Ring(9), graph.Path(5))
+	bits := make([]uint64, g.N())
+	for v := range bits {
+		bits[v] = 1
+	}
+	bits[4] = 0
+	out, res, err := FloodMinBit(g, bits, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 9; v++ {
+		if out[v] != 0 {
+			t.Errorf("ring node %d bit %d, want 0", v, out[v])
+		}
+	}
+	for v := 9; v < g.N(); v++ {
+		if out[v] != 1 {
+			t.Errorf("path node %d bit %d, want 1", v, out[v])
+		}
+	}
+	if res.MaxMessageBits != 8 {
+		t.Errorf("max message bits = %d, want the canonical 8-bit wire encoding", res.MaxMessageBits)
+	}
+
+	// Diameter edge: on a path with the 0 at one end, r rounds inform
+	// exactly the nodes within distance r.
+	p := graph.Path(10)
+	pb := make([]uint64, 10)
+	for v := range pb {
+		pb[v] = 1
+	}
+	pb[0] = 0
+	out, _, err = FloodMinBit(p, pb, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 10; v++ {
+		want := uint64(1)
+		if v <= 3 {
+			want = 0
+		}
+		if out[v] != want {
+			t.Errorf("path node %d after 3 rounds: bit %d, want %d", v, out[v], want)
+		}
+	}
+}
+
+// TestFloodMinBitMatchesFloodMin cross-checks the bit flood against the
+// general FloodMin on the same instance: with each node's bit in the high
+// word of its (distinct) identifier, the component minimum's high word IS
+// the AND the bit flood computes.
+func TestFloodMinBitMatchesFloodMin(t *testing.T) {
+	rng := prng.New(17)
+	g := graph.GNPConnected(120, 0.04, rng)
+	bits := make([]uint64, g.N())
+	ids := make([]uint64, g.N())
+	for v := range bits {
+		bits[v] = rng.Uint64() & 1
+		ids[v] = bits[v]<<32 | uint64(v)
+	}
+	gotBits, _, err := FloodMinBit(g, bits, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := sim.Run(sim.Config{Graph: g, IDs: ids, MaxMessageBits: sim.CongestBits(g.N())},
+		func(int) sim.NodeProgram[uint64] { return NewFloodMin(0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range gotBits {
+		if gotBits[v] != wantRes.Outputs[v]>>32 {
+			t.Errorf("node %d: FloodMinBit %d, FloodMin high word %d", v, gotBits[v], wantRes.Outputs[v]>>32)
+		}
+	}
+}

@@ -72,3 +72,23 @@ func TestBFSTreeRoundsAllocNothing(t *testing.T) {
 		t.Errorf("parent-announcement round allocates %.1f times, want 0", avg)
 	}
 }
+
+// TestFloodMinBitSteadyStateRoundAllocsNothing is the packed counterpart:
+// the AND-flood's absorb-and-broadcast round over bit planes must allocate
+// nothing, including when the inbox scan crosses a word boundary.
+func TestFloodMinBitSteadyStateRoundAllocsNothing(t *testing.T) {
+	const deg = 70
+	ctx, setIn, reset := sim.NewPackedBenchCtx(deg, 42, 1024, nil)
+	prog := NewFloodMinBit(1, 0)
+	prog.Init(ctx)
+	avg := testing.AllocsPerRun(100, func() {
+		reset()
+		setIn(3, 1)
+		setIn(66, 1)
+		prog.Round(1, nil)
+		prog.Bit = 1 // hold the node in steady broadcasting state
+	})
+	if avg != 0 {
+		t.Errorf("FloodMinBit steady-state round allocates %.1f times, want 0", avg)
+	}
+}

@@ -314,10 +314,13 @@ func (s *advState) record(r int, kind InjectKind, count int) {
 // the next round's stalls. live is the post-round live worklist (ascending);
 // crash(v) must mark v halted in the engine's structures (the engine
 // compacts its worklists afterwards when crashed > 0). onInject(slot), if
-// non-nil, lets the engine account a written inbox slot. The returned
-// msgs/bits/maxBits are the late-delivery tallies to fold into the Result
-// counters.
-func (s *advState) boundary(r int, live []int32, inbox []Message, onInject func(int32), crash func(int32)) (msgs int64, bits int64, maxBits int, crashed int) {
+// non-nil, lets the engine account a written inbox slot. iv is the engine's
+// current inbox plane behind a representation-neutral view (see inboxView):
+// the boundary's decisions depend only on slot occupancy, so a packed run
+// makes exactly the supersede/injection choices of its unpacked twin. The
+// returned msgs/bits/maxBits are the late-delivery tallies to fold into the
+// Result counters.
+func (s *advState) boundary(r int, live []int32, iv inboxView, onInject func(int32), crash func(int32)) (msgs int64, bits int64, maxBits int, crashed int) {
 	s.record(r, InjectDrop, s.roundDrops)
 	s.record(r, InjectCut, s.roundCuts)
 	s.record(r, InjectDelay, s.roundDelays)
@@ -347,11 +350,11 @@ func (s *advState) boundary(r int, live []int32, inbox []Message, onInject func(
 					superseded++
 					continue
 				}
-				if inbox[h.slot] != nil {
+				if iv.occupied(h.slot) {
 					superseded++
 					continue
 				}
-				inbox[h.slot] = h.msg
+				iv.inject(h.slot, h.msg)
 				if onInject != nil {
 					onInject(h.slot)
 				}
@@ -445,11 +448,7 @@ func (s *advState) boundary(r int, live []int32, inbox []Message, onInject func(
 		// node runs again); count them.
 		lost := 0
 		for _, v := range s.stalledList {
-			for i := s.off[v]; i < s.off[v+1]; i++ {
-				if inbox[i] != nil {
-					lost++
-				}
-			}
+			lost += iv.occupiedInRange(s.off[v], s.off[v+1])
 		}
 		s.record(r, InjectStallLoss, lost)
 	}

@@ -33,3 +33,40 @@ func NewBenchCtx(degree int, id uint64, n int, neighborIDs []uint64) (*NodeCtx, 
 	}
 	return ctx, a.rotate
 }
+
+// NewPackedBenchCtx is NewBenchCtx for packed runs: the returned NodeCtx is
+// wired to private bit planes the way the engines wire one when every program
+// declares PayloadBits() <= 1, so a test can drive a 1-bit program's Round
+// method directly — in particular under testing.AllocsPerRun, where a packed
+// steady-state round must measure 0 allocs. setIn(p, bit) plants an incoming
+// message carrying bit on port p, and reset clears both planes (what the
+// engine's per-node harvest and the next round's delivery would do):
+//
+//	ctx, setIn, reset := sim.NewPackedBenchCtx(deg, 42, 1<<10, ids)
+//	prog.Init(ctx)
+//	avg := testing.AllocsPerRun(100, func() {
+//		reset()
+//		setIn(0, 1)
+//		prog.Round(r, nil)
+//	})
+func NewPackedBenchCtx(degree int, id uint64, n int, neighborIDs []uint64) (ctx *NodeCtx, setIn func(p int, bit uint64), reset func()) {
+	in := newBitPlane(degree)
+	out := newBitPlane(degree)
+	ctx = &NodeCtx{
+		ID:          id,
+		Degree:      degree,
+		N:           n,
+		NeighborIDs: neighborIDs,
+		packed:      true,
+		inBits:      in,
+		outBits:     out,
+	}
+	setIn = func(p int, bit uint64) { in.set(int32(p), bit) }
+	reset = func() {
+		clear(in.present)
+		clear(in.value)
+		clear(out.present)
+		clear(out.value)
+	}
+	return ctx, setIn, reset
+}

@@ -32,7 +32,11 @@ import (
 // machines and the synchronous schedule delivers the same inboxes. The test
 // suite asserts this equivalence property on random networks.
 func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Result[T], error) {
-	st, err := newEngineState(cfg, factory)
+	// Always unpacked: this engine's messages are per-edge channel frames,
+	// not plane slots, so there is nothing for a bit plane to pack. Programs
+	// declaring PayloadBits() run through their unpacked accessor backends
+	// and produce the same Result (the accounting is representation-blind).
+	st, err := newEngineStateMode(cfg, factory, false)
 	if err != nil {
 		return nil, err
 	}
@@ -41,8 +45,12 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 
 	// Every node gets its own payload arena: compute phases overlap across
 	// nodes, so the shared engine arena cannot be carved concurrently.
+	// The inbox window of the bit accessors is fixed for the whole run here
+	// (this engine never swaps planes), so it too is wired once.
 	for v := 0; v < n; v++ {
 		st.ctxs[v].arena = &arena{}
+		lo, hi := st.off[v], st.off[v+1]
+		st.ctxs[v].inboxWin = st.inbox[lo:hi:hi]
 	}
 
 	// chans[off[v]+p] is the channel on which node v receives from port p.
@@ -273,7 +281,7 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 			// report is in), so the boundary's inbox writes are published to
 			// it by the next command send. A crash-stop releases the victim
 			// with nodeStop — from its neighbors' view it simply halted.
-			msgs, bits, maxBits, crashed := st.adv.boundary(r, st.active, st.inbox, nil,
+			msgs, bits, maxBits, crashed := st.adv.boundary(r, st.active, st.inboxView(), nil,
 				func(v int32) { st.done[v] = true; cont[v] <- nodeStop })
 			st.messages += msgs
 			st.bits += bits

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	mathbits "math/bits"
 	"time"
 
 	"randlocal/internal/graph"
@@ -52,6 +53,12 @@ type Config struct {
 	// performance lever — Results are identical under every policy — and
 	// ignored by the other engines.
 	Reshard ReshardPolicy
+	// Unpacked opts the run out of packed bit planes: even when every node
+	// program declares PayloadBits() <= 1 (see PayloadBitsDeclarer), the
+	// engines keep the full-width []Message planes. Purely a representation
+	// lever for A/B benchmarking and the equivalence suite — Results are
+	// identical either way.
+	Unpacked bool
 	// Adversary, when non-nil, injects faults into the run — message drops
 	// and delays, crash-stops, edge churn, adversarial stalls — drawing
 	// only from the adversary stream of its SimulationKey, so the
@@ -149,6 +156,17 @@ type engineState[T any] struct {
 	inboxSlots []int32
 	arena      *arena
 	ctxs       []NodeCtx
+	// packed marks a run whose planes are bitmaps: every program declared
+	// PayloadBits() <= 1, the config did not opt out, and the engine supports
+	// it (Run and RunParallel do; RunConcurrent always unpacks). inBits and
+	// nextBits then replace inbox/next, and outBitsPlane replaces outbox as
+	// the programs' write side (RunParallel rewires ctxs to per-worker
+	// planes). The staged/inboxSlots slot lists keep their exact unpacked
+	// meaning, so the accounting and the adversary see identical slots.
+	packed       bool
+	inBits       *bitPlane
+	nextBits     *bitPlane
+	outBitsPlane *bitPlane
 	// poison latches the poisoned-Outbox debug setting for this run; see
 	// debug.go.
 	poison bool
@@ -169,6 +187,17 @@ type engineState[T any] struct {
 }
 
 func newEngineState[T any](cfg Config, factory func(v int) NodeProgram[T]) (*engineState[T], error) {
+	return newEngineStateMode(cfg, factory, true)
+}
+
+// newEngineStateMode builds the shared engine substrate. allowPacked lets the
+// calling engine veto packed bit planes (RunConcurrent does — its frames are
+// per-edge channels); when it holds, every program declares PayloadBits() <= 1,
+// the config does not opt out, and the bandwidth bound admits the canonical
+// 8-bit wire message (MaxMessageBits 0 or >= 8 — a tighter bound would reject
+// even the 1-byte encoding, and the unpacked path must be the one to say so),
+// the message planes are allocated as packed bitmaps.
+func newEngineStateMode[T any](cfg Config, factory func(v int) NodeProgram[T], allowPacked bool) (*engineState[T], error) {
 	if cfg.Graph == nil {
 		return nil, fmt.Errorf("sim: config requires a graph")
 	}
@@ -205,12 +234,32 @@ func newEngineState[T any](cfg Config, factory func(v int) NodeProgram[T]) (*eng
 		progs:   make([]NodeProgram[T], n),
 		active:  make([]int32, n),
 		done:    make([]bool, n),
-		inbox:   make([]Message, h),
-		outbox:  make([]Message, h),
 		arena:   &arena{},
 		ctxs:    make([]NodeCtx, n),
 		poison:  debugOutboxCheck.Load(),
 		running: n,
+	}
+	// Programs are constructed before the planes are allocated so their
+	// declared payload widths can pick the plane representation; Init runs
+	// afterwards, against fully wired contexts.
+	packed := allowPacked && !cfg.Unpacked && n > 0 &&
+		(cfg.MaxMessageBits == 0 || cfg.MaxMessageBits >= 8)
+	for v := 0; v < n; v++ {
+		st.progs[v] = factory(v)
+		if packed {
+			d, ok := st.progs[v].(PayloadBitsDeclarer)
+			if !ok || d.PayloadBits() > 1 || d.PayloadBits() < 0 {
+				packed = false
+			}
+		}
+	}
+	st.packed = packed
+	if packed {
+		st.inBits = newBitPlane(h)
+		st.outBitsPlane = newBitPlane(h)
+	} else {
+		st.inbox = make([]Message, h)
+		st.outbox = make([]Message, h)
 	}
 	if cfg.Adversary != nil {
 		st.adv = cfg.Adversary.newState(off, adjf, rev, st.done)
@@ -250,8 +299,15 @@ func newEngineState[T any](cfg Config, factory func(v int) NodeProgram[T]) (*eng
 			Degree: int(hi - lo),
 			N:      declaredN,
 			Shared: shared,
-			Outbox: st.outbox[lo:hi:hi],
 			arena:  st.arena,
+		}
+		if packed {
+			ctx.packed = true
+			ctx.inBits = st.inBits
+			ctx.outBits = st.outBitsPlane
+			ctx.base = lo
+		} else {
+			ctx.Outbox = st.outbox[lo:hi:hi]
 		}
 		if !cfg.KT0 {
 			ctx.NeighborIDs = nids[lo:hi:hi]
@@ -259,7 +315,6 @@ func newEngineState[T any](cfg Config, factory func(v int) NodeProgram[T]) (*eng
 		if cfg.Source != nil && cfg.Source.Has(v) {
 			ctx.Rand = cfg.Source.Stream(v)
 		}
-		st.progs[v] = factory(v)
 		st.progs[v].Init(ctx)
 	}
 	return st, nil
@@ -268,9 +323,15 @@ func newEngineState[T any](cfg Config, factory func(v int) NodeProgram[T]) (*eng
 // roundFor invokes node v's compute phase for round r against its
 // flat-inbox window. Under the poisoned-Outbox debug check the node's
 // Outbox window is pre-filled with the sentinel so unset ports are caught
-// when the outbox is consumed.
+// when the outbox is consumed. A packed run has neither inbox windows nor
+// Outbox — programs read and write the bit planes through the NodeCtx
+// accessors, and Round receives a nil inbox.
 func (st *engineState[T]) roundFor(v, r int) ([]Message, bool) {
+	if st.packed {
+		return st.progs[v].Round(r, nil)
+	}
 	lo, hi := st.off[v], st.off[v+1]
+	st.ctxs[v].inboxWin = st.inbox[lo:hi:hi]
 	if st.poison {
 		poisonWindow(st.outbox[lo:hi])
 	}
@@ -282,6 +343,9 @@ func (st *engineState[T]) roundFor(v, r int) ([]Message, bool) {
 // the message as it goes. It returns a bandwidth error if v violates the
 // CONGEST bound.
 func (st *engineState[T]) step(v, r int) error {
+	if st.packed {
+		return st.stepPacked(v, r)
+	}
 	out, nodeDone := st.roundFor(v, r)
 	lo := st.off[v]
 	if deg := int(st.off[v+1] - lo); len(out) > deg {
@@ -331,6 +395,68 @@ func (st *engineState[T]) step(v, r int) error {
 	return nil
 }
 
+// stepPacked is step for packed runs: the program has already written its
+// outgoing bits into its out-plane window (BroadcastBit and friends), so the
+// engine harvests that window word-at-a-time — per present bit it resolves
+// the destination slot through the reverse half-edge table, consults the
+// adversary, stages the bit into nextBits and tallies the canonical 8-bit
+// message — then clears the window for the node's next round. There is no
+// bandwidth or poison check: the representation cannot express a payload
+// over 1 bit or an unset port.
+func (st *engineState[T]) stepPacked(v, r int) error {
+	_, nodeDone := st.progs[v].Round(r, nil)
+	lo, hi := st.off[v], st.off[v+1]
+	out := st.outBitsPlane
+	whi := int((hi - 1) >> 6)
+	for w := int(lo >> 6); lo < hi && w <= whi; w++ {
+		pw := out.present[w]
+		if pw == 0 {
+			continue
+		}
+		base := int64(w) << 6
+		if base < lo {
+			pw &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if base+64 > hi {
+			pw &= ^uint64(0) >> (63 - uint(hi-1)&63)
+		}
+		vv := out.value[w]
+		for pw != 0 {
+			k := mathbits.TrailingZeros64(pw)
+			pw &= pw - 1
+			i := st.rev[base+int64(k)]
+			bit := vv >> uint(k) & 1
+			if st.adv != nil {
+				switch f, d := st.adv.fate(r, i); f {
+				case fateDrop:
+					st.adv.roundDrops++
+					continue
+				case fateCut:
+					st.adv.roundCuts++
+					continue
+				case fateDelay:
+					st.adv.roundDelays++
+					st.adv.held = append(st.adv.held, holdMsg(i, r, d, bitWire[bit]))
+					continue
+				}
+			}
+			st.nextBits.set(i, bit)
+			st.staged = append(st.staged, i)
+			st.messages++
+			st.bits += 8
+			if st.maxBits < 8 {
+				st.maxBits = 8
+			}
+		}
+	}
+	st.outBitsPlane.clearBitRange(lo, hi)
+	if nodeDone {
+		st.done[v] = true
+		st.running--
+	}
+	return nil
+}
+
 // finishRound makes the round's staged messages the next round's inboxes.
 // Each slot is staged at most once per round (one sender per reverse
 // half-edge) and accounting happened at stage time, so delivery is pure data
@@ -341,8 +467,11 @@ func (st *engineState[T]) step(v, r int) error {
 // clearing last round's inbox slots individually), so a late round with a
 // tiny live fringe costs O(messages), not O(m).
 func (st *engineState[T]) finishRound() DeliveryMode {
+	if st.packed {
+		return st.finishRoundPacked()
+	}
 	mode := DeliverSparse
-	if 8*len(st.staged) >= len(st.next) {
+	if denseDelivery(len(st.staged), len(st.next)) {
 		mode = DeliverDense
 		st.inbox, st.next = st.next, st.inbox
 		clear(st.next)
@@ -358,6 +487,44 @@ func (st *engineState[T]) finishRound() DeliveryMode {
 	st.inboxSlots, st.staged = st.staged, st.inboxSlots[:0]
 	st.rounds++
 	return mode
+}
+
+// finishRoundPacked is finishRound over bit planes. The density decision uses
+// the same shared cut-off but counts the window in words — the unit the dense
+// path actually sweeps — so the vectorized swap pays off 64× earlier than on
+// Message planes. The dense path swaps the inner slices of the stable inBits/
+// nextBits structs (NodeCtx holds plane pointers, which must survive the
+// swap) and memclrs both lanes of the new next; the sparse path moves exactly
+// the staged bits. Either way the round reports DeliverPacked: the plane
+// representation, not the sub-strategy, is what a telemetry reader needs to
+// interpret the lane.
+func (st *engineState[T]) finishRoundPacked() DeliveryMode {
+	if denseDelivery(len(st.staged), st.nextBits.words()) {
+		st.inBits.present, st.nextBits.present = st.nextBits.present, st.inBits.present
+		st.inBits.value, st.nextBits.value = st.nextBits.value, st.inBits.value
+		clear(st.nextBits.present)
+		clear(st.nextBits.value)
+	} else {
+		for _, i := range st.inboxSlots {
+			st.inBits.clearSlot(i)
+		}
+		for _, i := range st.staged {
+			st.inBits.set(i, st.nextBits.bit(i))
+			st.nextBits.clearSlot(i)
+		}
+	}
+	st.inboxSlots, st.staged = st.staged, st.inboxSlots[:0]
+	st.rounds++
+	return DeliverPacked
+}
+
+// inboxView returns the adversary boundary's handle on whichever inbox plane
+// this run allocated.
+func (st *engineState[T]) inboxView() inboxView {
+	if st.packed {
+		return inboxView{bits: st.inBits}
+	}
+	return inboxView{msgs: st.inbox}
 }
 
 // initTelemetry latches the run's telemetry record once (an adversary
@@ -378,7 +545,7 @@ func (st *engineState[T]) initTelemetry(sched Scheduler, workers int) {
 // sequential engine and folds its late-delivery tallies and crash-stops
 // into the engine state.
 func (st *engineState[T]) adversaryBoundary(r int) {
-	msgs, bits, maxBits, crashed := st.adv.boundary(r, st.active, st.inbox,
+	msgs, bits, maxBits, crashed := st.adv.boundary(r, st.active, st.inboxView(),
 		func(slot int32) { st.inboxSlots = append(st.inboxSlots, slot) },
 		func(v int32) { st.done[v] = true; st.running-- })
 	st.messages += msgs
@@ -442,7 +609,11 @@ func (st *engineState[T]) maxRounds() int {
 // fringe costs O(active + messages) rather than O(n + m). Under telemetry it
 // is one lane: the whole worklist sweep is the round's compute phase.
 func (st *engineState[T]) runSequential(maxRounds int) (*Result[T], error) {
-	if st.next == nil {
+	if st.packed {
+		if st.nextBits == nil {
+			st.nextBits = newBitPlane(len(st.adjf))
+		}
+	} else if st.next == nil {
 		st.next = make([]Message, len(st.inbox))
 	}
 	st.initTelemetry(Sequential, 1)

@@ -82,6 +82,20 @@ type NodeCtx struct {
 	// writer. nil (a hand-built NodeCtx outside an engine) falls back to
 	// plain heap allocation.
 	arena *arena
+	// packed is set when the engine runs this node over packed bit planes
+	// (every program declared PayloadBits() <= 1; see PayloadBitsDeclarer):
+	// the bit accessors below then read inBits / write outBits word-at-a-
+	// time instead of going through Outbox and the inbox window. The fields
+	// are engine-wired; programs only ever use the accessors.
+	packed  bool
+	inBits  *bitPlane // current-inbox plane (read side)
+	outBits *bitPlane // this node's out plane (write side; per worker under RunParallel)
+	base    int64     // off[v]: the node's first slot in the flat planes
+	// inboxWin is the node's window of the flat inbox plane, wired by the
+	// engine before each unpacked Round call so the bit accessors can read
+	// received bits without the program threading its inbox argument
+	// through. It aliases the inbox slice Round receives.
+	inboxWin []Message
 }
 
 // Uints encodes xs as a single varint payload carved from the engine's
@@ -137,6 +151,142 @@ func (c *NodeCtx) BroadcastActive(msg Message, active []bool) []Message {
 		}
 	}
 	return out
+}
+
+// bitWire holds the two canonical 1-bit wire messages. They are what the
+// unpacked bit accessors put on the wire and what the engines materialize
+// when a packed message must exist as a Message (a delayed delivery held by
+// the adversary). Each is one byte — the varint encodings of 0 and 1 — so a
+// 1-bit payload accounts as 8 bits in both plane representations and the
+// packed Result is byte-identical to the unpacked one.
+var bitWire = [2]Message{{0}, {1}}
+
+// PayloadBitsDeclarer is the optional NodeProgram capability that declares a
+// maximum payload width in bits: a program implementing it promises that
+// every message it ever sends carries at most PayloadBits() bits of payload
+// (encoded on the wire as the canonical 1-byte varint — use the BroadcastBit
+// family, which guarantees it). A program that does not implement the
+// interface defaults to full-width messages.
+//
+// When every program of a run declares a width <= 1, the Run and RunParallel
+// engines store the message planes as packed []uint64 bitmaps — 64 half-edge
+// lanes per word — and delivery becomes word-parallel (see bitPlane). The
+// representation is invisible to the model: rounds, message and bit counts,
+// ActivePerRound and adversary injections are byte-identical to the unpacked
+// run, which the equivalence suite asserts. Config.Unpacked opts a run out
+// (A/B lever); RunConcurrent always runs unpacked (its frames are channels).
+type PayloadBitsDeclarer interface {
+	PayloadBits() int
+}
+
+// BitWords returns the number of 64-bit words the bit accessors use for this
+// node's ports: ⌈Degree/64⌉. Port p lives at bit p&63 of word p>>6.
+func (c *NodeCtx) BitWords() int { return (c.Degree + 63) >> 6 }
+
+// BroadcastBit stages payload bit b (its low bit) on every port and returns
+// the outbox to hand back from Round. In packed mode it sets whole words of
+// the engine's out plane and returns nil (the engine harvests the plane); in
+// unpacked mode it fills Outbox with the canonical 1-byte wire message. Both
+// representations account identically: one 8-bit message per port.
+func (c *NodeCtx) BroadcastBit(b uint64) []Message {
+	if c.packed {
+		setBitRange(c.outBits.present, c.base, c.base+int64(c.Degree))
+		if b&1 != 0 {
+			setBitRange(c.outBits.value, c.base, c.base+int64(c.Degree))
+		}
+		return nil
+	}
+	msg := bitWire[b&1]
+	out := c.Outbox
+	for p := range out {
+		out[p] = msg
+	}
+	return out
+}
+
+// BroadcastBitMask stages payload bit b on every port whose bit is set in
+// mask (the BitWords()-word port bitmap the program maintains — the packed
+// counterpart of BroadcastActive's []bool) and nothing on the rest, and
+// returns the outbox to hand back from Round. Mask bits at or above Degree
+// are ignored.
+func (c *NodeCtx) BroadcastBitMask(b uint64, mask []uint64) []Message {
+	if c.packed {
+		for j := 0; j < c.BitWords(); j++ {
+			m := mask[j]
+			if m == 0 {
+				continue
+			}
+			n := c.Degree - j<<6
+			if n > 64 {
+				n = 64
+			}
+			pos := c.base + int64(j)<<6
+			orBitsAt(c.outBits.present, pos, m, n)
+			if b&1 != 0 {
+				orBitsAt(c.outBits.value, pos, m, n)
+			}
+		}
+		return nil
+	}
+	msg := bitWire[b&1]
+	out := c.Outbox
+	for p := range out {
+		if mask[p>>6]>>(uint(p)&63)&1 != 0 {
+			out[p] = msg
+		} else {
+			out[p] = nil
+		}
+	}
+	return out
+}
+
+// InBitWord returns this round's received bits for ports [64j, 64j+64): bit k
+// of present is set when port 64j+k received a message, and the matching bit
+// of value carries its payload (value ⊆ present). It is the word-at-a-time
+// read path of 1-bit programs — in packed mode two shift-combined loads from
+// the packed inbox plane, in unpacked mode assembled from the inbox window —
+// and must be called from inside Round (the engine wires the window per
+// call).
+func (c *NodeCtx) InBitWord(j int) (present, value uint64) {
+	n := c.Degree - j<<6
+	if n <= 0 {
+		return 0, 0
+	}
+	if n > 64 {
+		n = 64
+	}
+	if c.packed {
+		pos := c.base + int64(j)<<6
+		return readBitsAt(c.inBits.present, pos, n), readBitsAt(c.inBits.value, pos, n)
+	}
+	win := c.inboxWin[j<<6:]
+	for k := 0; k < n; k++ {
+		if m := win[k]; m != nil {
+			present |= 1 << uint(k)
+			if len(m) > 0 && m[0]&1 != 0 {
+				value |= 1 << uint(k)
+			}
+		}
+	}
+	return present, value
+}
+
+// InBit returns the payload bit received on port p this round and whether a
+// message arrived there — the single-port convenience over InBitWord.
+func (c *NodeCtx) InBit(p int) (bit uint64, ok bool) {
+	if c.packed {
+		i := c.base + int64(p)
+		w, s := int(i>>6), uint(i)&63
+		return c.inBits.value[w] >> s & 1, c.inBits.present[w]>>s&1 != 0
+	}
+	m := c.inboxWin[p]
+	if m == nil {
+		return 0, false
+	}
+	if len(m) > 0 {
+		bit = uint64(m[0] & 1)
+	}
+	return bit, true
 }
 
 // NodeProgram is a state machine run at one node. Init is called once before

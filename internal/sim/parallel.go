@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	mathbits "math/bits"
 	"runtime"
 	"sync"
 	"time"
@@ -36,6 +37,18 @@ type parallelWorker struct {
 	// of shard s during the compute phase; shard s applies them during the
 	// scatter phase. Reused (truncated, not freed) across rounds.
 	outbox [][]stagedMsg
+	// Packed-run counterparts (nil on unpacked runs). out is this worker's
+	// private full-length out plane — its nodes' NodeCtx.outBits — harvested
+	// and cleared inside the compute phase, so workers never write a shared
+	// word. pout[s] stages the packed messages addressed to shard s's word
+	// range as slot|bit<<31 entries; wlo/whi is this shard's exclusive word
+	// window [wlo, whi) of the inbox plane (word-rounded shard bounds, see
+	// graph.ShardWordBounds), which makes the packed scatter race-free
+	// without atomics even though adjacent shards' slot ranges share
+	// boundary words.
+	out      *bitPlane
+	pout     [][]uint32
+	wlo, whi int
 	// inboxSlots lists the slots of this shard's inbox window that are
 	// currently non-nil, so a sparse scatter phase clears and refills
 	// exactly the touched slots instead of sweeping the whole window.
@@ -99,6 +112,9 @@ func (w *parallelWorker) compute(st *engineStateCore, r int) {
 	for s := range w.outbox {
 		w.outbox[s] = w.outbox[s][:0]
 	}
+	for s := range w.pout {
+		w.pout[s] = w.pout[s][:0]
+	}
 	w.activeN = len(w.active)
 	live := w.active[:0]
 	for _, v32 := range w.active {
@@ -111,6 +127,20 @@ func (w *parallelWorker) compute(st *engineStateCore, r int) {
 			continue
 		}
 		out, nodeDone := st.round(v, r)
+		if st.packed {
+			// The program wrote its bits into this worker's private out
+			// plane; harvest them into the per-destination-shard staging
+			// lists (no bandwidth/poison/degree checks — the representation
+			// cannot express a violation).
+			w.stagePacked(st, v, r)
+			if nodeDone {
+				st.done[v] = true
+				w.halted++
+			} else {
+				live = append(live, v32)
+			}
+			continue
+		}
 		lo := st.off[v]
 		if deg := int(st.off[v+1] - lo); len(out) > deg {
 			if w.err == nil {
@@ -195,8 +225,8 @@ func (w *parallelWorker) scatter(st *engineStateCore, self int, workers []*paral
 	for _, src := range workers {
 		total += len(src.outbox[self])
 	}
-	// Same 8× density cut-off as the sequential engine's plane swap.
-	if w.denseInbox = 8*total >= int(st.off[w.hi]-st.off[w.lo]); w.denseInbox {
+	// Same shared density cut-off as the sequential engine's plane swap.
+	if w.denseInbox = denseDelivery(total, int(st.off[w.hi]-st.off[w.lo])); w.denseInbox {
 		for _, src := range workers {
 			for _, sm := range src.outbox[self] {
 				st.inbox[sm.idx] = sm.msg
@@ -212,6 +242,100 @@ func (w *parallelWorker) scatter(st *engineStateCore, self int, workers []*paral
 	}
 }
 
+// stagePacked harvests node v's freshly written out-plane window: per present
+// bit it resolves the destination slot, consults the adversary, routes the
+// bit to the shard owning the destination's *word* (st.wordShardOf — word
+// ownership, not node ownership, is what keeps the packed scatter race-free)
+// and tallies the canonical 8-bit message; then clears the window. Mirrors
+// engineState.stepPacked slot for slot, so the staged order — and with it
+// every counter and adversary fate — matches the sequential engine.
+func (w *parallelWorker) stagePacked(st *engineStateCore, v, r int) {
+	lo, hi := st.off[v], st.off[v+1]
+	if lo == hi {
+		return
+	}
+	out := w.out
+	whi := int((hi - 1) >> 6)
+	for wd := int(lo >> 6); wd <= whi; wd++ {
+		pw := out.present[wd]
+		if pw == 0 {
+			continue
+		}
+		base := int64(wd) << 6
+		if base < lo {
+			pw &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if base+64 > hi {
+			pw &= ^uint64(0) >> (63 - uint(hi-1)&63)
+		}
+		vv := out.value[wd]
+		for pw != 0 {
+			k := mathbits.TrailingZeros64(pw)
+			pw &= pw - 1
+			i := st.rev[base+int64(k)]
+			bit := vv >> uint(k) & 1
+			if st.adv != nil {
+				switch f, d := st.adv.fate(r, i); f {
+				case fateDrop:
+					w.drops++
+					continue
+				case fateCut:
+					w.cuts++
+					continue
+				case fateDelay:
+					w.delays++
+					w.held = append(w.held, holdMsg(i, r, d, bitWire[bit]))
+					continue
+				}
+			}
+			s := st.wordShardOf[i>>6]
+			w.pout[s] = append(w.pout[s], uint32(i)|uint32(bit)<<31)
+			w.msgs++
+			w.bits += 8
+			if w.maxBits < 8 {
+				w.maxBits = 8
+			}
+		}
+	}
+	out.clearBitRange(lo, hi)
+}
+
+// scatterPacked is scatter over the packed inbox plane: the worker clears its
+// exclusive word window [wlo, whi) — whole-window memclr after a dense round,
+// staged-slot walk after a sparse one — then ORs in every bit addressed to
+// it. The density decision is the same shared cut-off as everywhere else,
+// counted in words (the unit the dense memclr sweeps).
+func (w *parallelWorker) scatterPacked(st *engineStateCore, self int, workers []*parallelWorker) {
+	ib := st.inBits
+	if w.denseInbox {
+		ib.clearWords(w.wlo, w.whi)
+	} else {
+		for _, i := range w.inboxSlots {
+			ib.clearSlot(i)
+		}
+	}
+	w.inboxSlots = w.inboxSlots[:0]
+	total := 0
+	for _, src := range workers {
+		total += len(src.pout[self])
+	}
+	if w.denseInbox = denseDelivery(total, w.whi-w.wlo); w.denseInbox {
+		for _, src := range workers {
+			for _, pm := range src.pout[self] {
+				ib.set(int32(pm&0x7fffffff), uint64(pm>>31))
+			}
+		}
+		return
+	}
+	for _, src := range workers {
+		for _, pm := range src.pout[self] {
+			slot := int32(pm & 0x7fffffff)
+			ib.set(slot, uint64(pm>>31))
+			w.inboxSlots = append(w.inboxSlots, slot)
+		}
+	}
+}
+
 // engineStateCore is the type-independent slice of engineState the workers
 // need; keeping it non-generic lets the phase methods live on plain structs.
 type engineStateCore struct {
@@ -222,7 +346,15 @@ type engineStateCore struct {
 	inbox          []Message // flat half-edge-indexed message plane
 	shardOf        []int32
 	maxMessageBits int
-	poison         bool // poisoned-Outbox debug check (see debug.go)
+	// Packed-run fields (zero on unpacked runs): the packed inbox plane and
+	// the word-ownership table — wordShardOf[wd] is the shard whose scatter
+	// phase owns word wd of the plane, rebuilt on every re-cut. packed
+	// staging routes by it, not by shardOf: the two disagree exactly on the
+	// boundary slots a word-rounded cut shifted to the lower shard.
+	packed      bool
+	inBits      *bitPlane
+	wordShardOf []int32
+	poison      bool // poisoned-Outbox debug check (see debug.go)
 	// adv is the run's adversary state (nil when fault-free). Workers call
 	// only its pure fate hash and read stalled flags, both stable within a
 	// round; every mutation happens at the coordinator's round boundary.
@@ -302,12 +434,23 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 			lo: lo, hi: hi,
 			active: make([]int32, hi-lo),
 			arena:  &arena{},
-			outbox: make([][]stagedMsg, workers),
+		}
+		if st.packed {
+			// Each worker gets a private out plane (its nodes write bits
+			// there during compute, no shared words) and per-shard packed
+			// staging lists; the []Message staging machinery stays nil.
+			w.out = newBitPlane(len(st.adjf))
+			w.pout = make([][]uint32, workers)
+		} else {
+			w.outbox = make([][]stagedMsg, workers)
 		}
 		for v := lo; v < hi; v++ {
 			shardOf[v] = int32(i)
 			w.active[v-lo] = int32(v)
 			st.ctxs[v].arena = w.arena
+			if st.packed {
+				st.ctxs[v].outBits = w.out
+			}
 		}
 		pool[i] = w
 	}
@@ -322,6 +465,26 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 		poison:         st.poison,
 		adv:            st.adv,
 		round:          st.roundFor,
+		packed:         st.packed,
+		inBits:         st.inBits,
+	}
+	// Word-rounded scatter windows: shard s's scatter owns the exclusive
+	// word range [pool[s].wlo, pool[s].whi) of the packed inbox plane
+	// (graph.ShardWordBounds), so adjacent shards whose slot ranges share a
+	// boundary word never write the same word concurrently.
+	var wordBoundsScratch []int
+	applyWordBounds := func(bounds []int) {
+		wordBoundsScratch = st.g.ShardWordBoundsInto(bounds, wordBoundsScratch)
+		for s, w := range pool {
+			w.wlo, w.whi = wordBoundsScratch[s], wordBoundsScratch[s+1]
+			for wd := w.wlo; wd < w.whi; wd++ {
+				core.wordShardOf[wd] = int32(s)
+			}
+		}
+	}
+	if st.packed {
+		core.wordShardOf = make([]int32, st.inBits.words())
+		applyWordBounds(bounds)
 	}
 
 	cmds := make([]chan phaseCmd, workers)
@@ -338,7 +501,11 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 				case phaseCompute:
 					w.compute(core, c.round)
 				case phaseScatter:
-					w.scatter(core, i, pool)
+					if core.packed {
+						w.scatterPacked(core, i, pool)
+					} else {
+						w.scatter(core, i, pool)
+					}
 				}
 				barrier.Done()
 			}
@@ -387,9 +554,22 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 		slots := slotScratch[:0]
 		for _, w := range pool {
 			if w.denseInbox {
-				for i := st.off[w.lo]; i < st.off[w.hi]; i++ {
-					if st.inbox[i] != nil {
-						slots = append(slots, int32(i))
+				if st.packed {
+					// A dense packed scatter left no slot list either; scan
+					// the (old) word window's present bits for survivors.
+					for wd := w.wlo; wd < w.whi; wd++ {
+						pw := st.inBits.present[wd]
+						for pw != 0 {
+							k := mathbits.TrailingZeros64(pw)
+							pw &= pw - 1
+							slots = append(slots, int32(wd<<6+k))
+						}
+					}
+				} else {
+					for i := st.off[w.lo]; i < st.off[w.hi]; i++ {
+						if st.inbox[i] != nil {
+							slots = append(slots, int32(i))
+						}
 					}
 				}
 				w.denseInbox = false
@@ -399,7 +579,9 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 			w.inboxSlots = w.inboxSlots[:0]
 		}
 		slotScratch = slots
-		// Hand out the new node ranges, worklist segments and arenas.
+		// Hand out the new node ranges, worklist segments and arenas (and,
+		// packed, the live nodes' out-plane wiring — a migrated node must
+		// write its bits where its new owner harvests).
 		li := 0
 		for s, w := range pool {
 			lo, hi := bounds[s], bounds[s+1]
@@ -414,12 +596,25 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 			}
 			for _, v := range w.active {
 				st.ctxs[v].arena = w.arena
+				if st.packed {
+					st.ctxs[v].outBits = w.out
+				}
 			}
 		}
-		// Re-own the surviving inbox slots: slot i belongs to node
-		// adj[rev[i]], so its new owner is one shardOf lookup away.
+		if st.packed {
+			applyWordBounds(bounds)
+		}
+		// Re-own the surviving inbox slots: on Message planes slot i belongs
+		// to node adj[rev[i]]'s shard; on packed planes to whichever shard
+		// owns the slot's word (the two differ only on word-rounded boundary
+		// slots).
 		for _, i := range slots {
-			owner := pool[shardOf[st.adjf[st.rev[i]]]]
+			var owner *parallelWorker
+			if st.packed {
+				owner = pool[core.wordShardOf[i>>6]]
+			} else {
+				owner = pool[shardOf[st.adjf[st.rev[i]]]]
+			}
 			owner.inboxSlots = append(owner.inboxSlots, i)
 		}
 	}
@@ -493,9 +688,12 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 				// The staged lane counts what the shard's programs emitted,
 				// including what the adversary then dropped, cut or held.
 				stagedScratch[i] = int(w.msgs) + w.drops + w.cuts + w.delays
-				if w.denseInbox {
+				switch {
+				case st.packed:
+					modeScratch[i] = DeliverPacked
+				case w.denseInbox:
 					modeScratch[i] = DeliverDense
-				} else {
+				default:
 					modeScratch[i] = DeliverSparse
 				}
 			}
@@ -515,9 +713,14 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 				liveScratch = lv
 				advLive = lv
 			}
-			msgs, bits, maxBits, crashed := st.adv.boundary(r, advLive, st.inbox,
+			msgs, bits, maxBits, crashed := st.adv.boundary(r, advLive, st.inboxView(),
 				func(slot int32) {
-					owner := pool[shardOf[st.adjf[st.rev[slot]]]]
+					var owner *parallelWorker
+					if st.packed {
+						owner = pool[core.wordShardOf[slot>>6]]
+					} else {
+						owner = pool[shardOf[st.adjf[st.rev[slot]]]]
+					}
 					if !owner.denseInbox {
 						owner.inboxSlots = append(owner.inboxSlots, slot)
 					}

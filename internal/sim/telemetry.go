@@ -70,6 +70,13 @@ const (
 	// DeliverChannels is the concurrent engine's per-edge channel
 	// delivery (no per-round strategy choice exists there).
 	DeliverChannels
+	// DeliverPacked is delivery over packed bit planes (every program
+	// declared PayloadBits() <= 1, see PayloadBitsDeclarer): staged bits are
+	// OR-ed into []uint64 words, and the dense/sparse choice — made with the
+	// same shared cut-off, but against a 64×-smaller window — happens inside
+	// the packed path, so the lane reports the representation rather than
+	// the sub-strategy.
+	DeliverPacked
 )
 
 // String returns a short human-readable name.
@@ -81,6 +88,8 @@ func (m DeliveryMode) String() string {
 		return "dense"
 	case DeliverChannels:
 		return "channels"
+	case DeliverPacked:
+		return "packed"
 	default:
 		return "unknown"
 	}

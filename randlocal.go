@@ -301,7 +301,16 @@ const (
 	DeliverSparse   = sim.DeliverSparse
 	DeliverDense    = sim.DeliverDense
 	DeliverChannels = sim.DeliverChannels
+	DeliverPacked   = sim.DeliverPacked
 )
+
+// PayloadBitsDeclarer is the optional capability a node program implements
+// to declare its maximum per-message payload width. When every program of a
+// run declares a width of at most one bit, the sequential and parallel
+// engines replace their message planes with packed bitmaps and deliver
+// word-parallel (64 half-edge lanes per operation); SimConfig.Unpacked opts
+// a run out for A/B comparison, with a byte-identical SimResult either way.
+type PayloadBitsDeclarer = sim.PayloadBitsDeclarer
 
 var (
 	// SetTelemetry enables or disables telemetry collection for
@@ -381,12 +390,22 @@ var (
 // BFSOutput is the per-node result of the BFS-tree protocol.
 type BFSOutput = protocols.BFSOutput
 
+// FloodMinBitProgram is one node of the 1-bit AND-flood (the packed-plane
+// restriction of FloodMin).
+type FloodMinBitProgram = protocols.FloodMinBitProgram
+
 var (
 	// BFSTree builds a BFS tree from a root and convergecasts subtree
 	// sizes — the "cluster around a center + upcast" motif of Lemma 3.2.
 	BFSTree = protocols.BFSTree
 	// ElectLeader floods minimum identifiers (leader election).
 	ElectLeader = protocols.ElectLeader
+	// FloodMinBit floods the global AND of per-node input bits — the 1-bit
+	// restriction of FloodMin, executed over packed bit planes.
+	FloodMinBit = protocols.FloodMinBit
+	// NewFloodMinBit returns one node's AND-flood program for direct use
+	// with the engines.
+	NewFloodMinBit = protocols.NewFloodMinBit
 )
 
 // --- Sinkless orientation -------------------------------------------------------
@@ -419,9 +438,21 @@ type LubyConfig = mis.LubyConfig
 // LubyOutput is the per-node result of Luby's program.
 type LubyOutput = mis.LubyOutput
 
+// LubyBitConfig parameterizes the coin-flip (1-bit-message) Luby variant.
+type LubyBitConfig = mis.LubyBitConfig
+
 // NewLubyProgram returns one node's Luby state machine for direct use with
 // Run or RunConcurrent.
 var NewLubyProgram = mis.NewProgram
+
+// NewLubyBitProgram returns one node's coin-flip Luby state machine — a pure
+// 1-bit protocol that declares PayloadBits() = 1, so the engines run it over
+// packed bit planes.
+var NewLubyBitProgram = mis.NewBitProgram
+
+// NewLubyBitProgramSlab is NewLubyBitProgram's slab-factory form for
+// million-node runs: all n program structs come from one allocation.
+var NewLubyBitProgramSlab = mis.NewBitProgramSlab
 
 // ColoringConfig parameterizes the randomized (Δ+1)-coloring program.
 type ColoringConfig = coloring.Config
@@ -429,6 +460,9 @@ type ColoringConfig = coloring.Config
 var (
 	// Luby runs Luby's randomized MIS in the CONGEST model.
 	Luby = mis.Luby
+	// LubyBit runs the coin-flip 1-bit-message Luby variant over packed
+	// bit planes (LubyBitConfig.Unpacked opts out, byte-identically).
+	LubyBit = mis.LubyBit
 	// GreedyMIS is the sequential greedy reference.
 	GreedyMIS = mis.Greedy
 	// RandomizedColoring runs the trial-color (Δ+1)-coloring program.

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # bench_gate.sh — CI benchmark-regression gate.
 #
-# Reruns the engine benchmarks and compares ns/op and allocs/op per
-# benchmark against a committed BENCH_PR*.json baseline, failing (exit 1)
+# Reruns the engine and packed-bit-plane benchmarks (the BenchmarkLuby /
+# BenchmarkLubyPacked pair keeps both sides of the packed-vs-unpacked
+# comparison honest) and compares ns/op and allocs/op per benchmark against
+# a committed BENCH_PR*.json baseline, failing (exit 1)
 # when either metric regresses by more than the threshold. Benchmarks
 # without a row in the baseline (newly added ones) are recorded but not
 # gated. The fresh run is always written to BENCH_FRESH.json so CI can
@@ -18,7 +20,7 @@
 # Usage: scripts/bench_gate.sh [--baseline baseline.json] [--benchtime 1x]
 #        scripts/bench_gate.sh [baseline.json] [benchtime]
 #   --baseline baseline.json  committed BENCH_PR*.json to gate against
-#                             (default BENCH_PR3.json — bump this when a PR
+#                             (default BENCH_PR7.json — bump this when a PR
 #                             records a new baseline)
 #   --benchtime 1x            go test -benchtime value; each size runs
 #                             BENCH_COUNT times and the gate compares the
@@ -30,7 +32,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 . scripts/bench_lib.sh
 
-BASELINE="BENCH_PR3.json"
+BASELINE="BENCH_PR7.json"
 BENCHTIME="1x"
 positional=0
 while [ $# -gt 0 ]; do
@@ -71,7 +73,9 @@ fi
 raw=$(run_benchmarks_isolated "$BENCHTIME" \
 	'BenchmarkRun$/^n=65536$' 'BenchmarkRun$/^n=1048576$' \
 	'BenchmarkRunStaggered$/^n=65536$' 'BenchmarkRunStaggered$/^n=1048576$' \
-	'BenchmarkRunParallel$/^n=65536$' 'BenchmarkRunParallel$/^n=1048576$' | min_over_runs)
+	'BenchmarkRunParallel$/^n=65536$' 'BenchmarkRunParallel$/^n=1048576$' \
+	'BenchmarkLuby$/^n=65536$' 'BenchmarkLuby$/^n=1048576$' \
+	'BenchmarkLubyPacked$/^n=65536$' 'BenchmarkLubyPacked$/^n=1048576$' | min_over_runs)
 
 printf '%s\n' "$raw" |
 	bench_to_json "bench-gate run vs $BASELINE" "$BENCHTIME" "$(baselines_from_json "$BASELINE")" > "$OUT"

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# bench_pr7.sh — record the bit-packed message-plane trajectory.
+#
+# Emits BENCH_PR7.json at the repo root. Three stories in one document:
+#
+#   * BenchmarkLuby vs BenchmarkLubyPacked is the headline comparison: the
+#     identical coin-flip 1-bit Luby program (same graph, same seeds,
+#     byte-identical Results — asserted by the equivalence suite) with the
+#     message planes unpacked vs packed into []uint64 bitmaps. Both rows are
+#     recorded fresh in the same run, and each BenchmarkLubyPacked row's
+#     baseline_* fields are THIS run's BenchmarkLuby row, so the
+#     ns_reduction_pct is a same-runner, same-binary measurement of the
+#     packed representation alone.
+#   * BenchmarkFloodMinBit rows (packed vs unpacked sub-rows) put the planes
+#     under the densest 1-bit load — every half-edge lane carries a bit
+#     every round — recorded to seed future comparisons.
+#   * BenchmarkRun / BenchmarkRunStaggered / BenchmarkRunParallel /
+#     BenchmarkRunParallelStaggered carry the BENCH_PR4.json baselines:
+#     these all-active varint workloads never pack, so their ns/op and
+#     allocs/op must NOT regress — that gates the denseDelivery refactor and
+#     the packed branches added to the engines' hot paths.
+#
+# BenchmarkENDecomp is not re-recorded: its program is unpacked and its
+# engine path is gated by the rows above; BENCH_PR4.json remains its
+# baseline of record.
+#
+# Usage: scripts/bench_pr7.sh [benchtime]   (default 2x, matching the
+#                                            BENCH_PR4.json recording)
+# Env:   BENCH_COUNT  runs per benchmark; the min is recorded (default 3,
+#                     stripping shared-machine noise like the CI gate does)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+. scripts/bench_lib.sh
+
+BENCHTIME="${1:-2x}"
+export BENCH_COUNT="${BENCH_COUNT:-3}"
+OUT="BENCH_PR7.json"
+
+RAW="$(run_benchmarks_isolated "$BENCHTIME" \
+	'BenchmarkRun$/^n=65536$' 'BenchmarkRun$/^n=1048576$' \
+	'BenchmarkRunStaggered$/^n=65536$' 'BenchmarkRunStaggered$/^n=1048576$' \
+	'BenchmarkRunParallel$/^n=65536$' 'BenchmarkRunParallel$/^n=1048576$' \
+	'BenchmarkRunParallelStaggered$/^n=65536$' 'BenchmarkRunParallelStaggered$/^n=1048576$' \
+	'BenchmarkLuby$/^n=65536$' 'BenchmarkLuby$/^n=1048576$' \
+	'BenchmarkLubyPacked$/^n=65536$' 'BenchmarkLubyPacked$/^n=1048576$' \
+	'BenchmarkFloodMinBit$/^n=65536$' 'BenchmarkFloodMinBit$/^n=1048576$' |
+	min_over_runs)"
+
+# The packed rows' baselines are this run's own unpacked rows, renamed: the
+# ≥25% acceptance claim is a same-runner measurement, not a cross-machine one.
+LUBY_BASE="$(printf '%s\n' "$RAW" | awk '
+	/^BenchmarkLuby\// {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		sub(/^BenchmarkLuby\//, "BenchmarkLubyPacked/", name)
+		ns = allocs = bytes = ""
+		for (i = 2; i <= NF; i++) {
+			if ($i == "ns/op")     ns     = $(i-1)
+			if ($i == "allocs/op") allocs = $(i-1)
+			if ($i == "B/op")      bytes  = $(i-1)
+		}
+		if (ns != "") print name, ns, allocs, bytes
+	}')"
+
+BASELINES="$(baselines_from_json BENCH_PR4.json)
+$LUBY_BASE"
+
+printf '%s\n' "$RAW" |
+	bench_to_json "bit-packed message planes; LubyPacked baselines = this run's unpacked BenchmarkLuby rows, engine baselines = BENCH_PR4.json; min of $BENCH_COUNT runs" "$BENCHTIME" "$BASELINES" > "$OUT"
+
+echo "wrote $OUT"
