@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,9 +26,15 @@ import (
 	"randlocal/internal/orientation"
 	"randlocal/internal/prng"
 	"randlocal/internal/randomness"
+	"randlocal/internal/serve"
 	"randlocal/internal/sim"
 	"randlocal/internal/slocal"
 )
+
+// errRejected makes a checker-rejected (or fault-truncated) run exit nonzero
+// so scripts and CI can rely on the exit status, while the INVALID/INCOMPLETE
+// diagnostics above it keep carrying the detail.
+var errRejected = errors.New("run rejected (INVALID or INCOMPLETE under faults)")
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -96,31 +103,12 @@ func run(args []string) error {
 		}
 	}
 
-	rng := prng.New(*seed)
-	var g *graph.Graph
-	switch *graphKind {
-	case "gnp":
-		prob := *p
-		if prob == 0 {
-			prob = 4.0 / float64(*n)
-		}
-		g = graph.GNPConnected(*n, prob, rng)
-	case "ring":
-		g = graph.Ring(*n)
-	case "grid":
-		s := 1
-		for (s+1)*(s+1) <= *n {
-			s++
-		}
-		g = graph.Grid(s, s)
-	case "tree":
-		g = graph.RandomTree(*n, rng)
-	case "cliques":
-		g = graph.RingOfCliques(*n/4, 4)
-	case "regular":
-		g = graph.RandomRegular(*n, *deg, rng)
-	default:
-		return fmt.Errorf("unknown graph family %q", *graphKind)
+	// Graph construction is shared with the locsimd daemon (serve.BuildGraph)
+	// so a CLI run and a daemon-submitted request of the same parameters
+	// solve the same instance.
+	g, err := serve.BuildGraph(*graphKind, *n, *p, *deg, *seed)
+	if err != nil {
+		return err
 	}
 	fmt.Printf("graph: %v diameter=%d\n", g, graph.Diameter(g))
 
@@ -134,13 +122,13 @@ func run(args []string) error {
 			}
 			printTelemetry(res.Telemetry)
 			fmt.Printf("Elkin–Neiman under faults: INCOMPLETE (%v) rounds=%d\n", err, res.Rounds)
-			return nil
+			return errRejected
 		}
 		printTelemetry(res.Telemetry)
 		if adv != nil {
 			if verr := d.Validate(g, 0, 0); verr != nil {
 				fmt.Printf("Elkin–Neiman under faults: INVALID (%v) rounds=%d messages=%d\n", verr, res.Rounds, res.Messages)
-				return nil
+				return errRejected
 			}
 		}
 		return reportDecomp(g, d, "Elkin–Neiman",
@@ -224,13 +212,13 @@ func run(args []string) error {
 			}
 			printTelemetry(res.Telemetry)
 			fmt.Printf("Luby MIS under faults: INCOMPLETE (%v) rounds=%d\n", err, res.Rounds)
-			return nil
+			return errRejected
 		}
 		if err := check.MIS(g, in); err != nil {
 			if adv != nil {
 				printTelemetry(res.Telemetry)
 				fmt.Printf("Luby MIS under faults: INVALID (%v) rounds=%d\n", err, res.Rounds)
-				return nil
+				return errRejected
 			}
 			return fmt.Errorf("invalid MIS: %w", err)
 		}
@@ -252,13 +240,13 @@ func run(args []string) error {
 			}
 			printTelemetry(res.Telemetry)
 			fmt.Printf("LubyBit MIS under faults: INCOMPLETE (%v) rounds=%d\n", err, res.Rounds)
-			return nil
+			return errRejected
 		}
 		if err := check.MIS(g, in); err != nil {
 			if adv != nil {
 				printTelemetry(res.Telemetry)
 				fmt.Printf("LubyBit MIS under faults: INVALID (%v) rounds=%d\n", err, res.Rounds)
-				return nil
+				return errRejected
 			}
 			return fmt.Errorf("invalid MIS: %w", err)
 		}
@@ -281,13 +269,13 @@ func run(args []string) error {
 			}
 			printTelemetry(res.Telemetry)
 			fmt.Printf("(Δ+1)-coloring under faults: INCOMPLETE (%v) rounds=%d\n", err, res.Rounds)
-			return nil
+			return errRejected
 		}
 		if err := check.Coloring(g, colors, g.MaxDegree()+1); err != nil {
 			if adv != nil {
 				printTelemetry(res.Telemetry)
 				fmt.Printf("(Δ+1)-coloring under faults: INVALID (%v) rounds=%d\n", err, res.Rounds)
-				return nil
+				return errRejected
 			}
 			return fmt.Errorf("invalid coloring: %w", err)
 		}

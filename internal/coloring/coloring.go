@@ -29,6 +29,10 @@ type Config struct {
 	// Adversary, when non-nil, injects its faults into the execution;
 	// attaching one never changes the candidate coins the nodes draw.
 	Adversary *sim.Adversary
+	// Exec carries the per-run execution knobs (scheduler, workers, re-shard
+	// policy, engine pool, telemetry, progress hook); the zero value defers
+	// to the package-wide defaults. Multi-tenant hosts set it per run.
+	Exec sim.ExecOptions
 }
 
 // program is one node of the trial-color algorithm. Each phase takes two
@@ -153,6 +157,7 @@ func Randomized(g *graph.Graph, src randomness.Source, ids []uint64, cfg Config)
 		MaxMessageBits: sim.CongestBits(g.N()),
 		Adversary:      cfg.Adversary,
 	}
+	cfg.Exec.Apply(&simCfg)
 	res, err := sim.Execute(simCfg, func(int) sim.NodeProgram[int] {
 		return &program{cfg: cfg}
 	})

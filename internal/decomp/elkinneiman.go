@@ -27,6 +27,10 @@ type ENConfig struct {
 	// Adversary, when non-nil, injects its faults into the execution;
 	// attaching one never changes the radius coins the nodes draw.
 	Adversary *sim.Adversary
+	// Exec carries the per-run execution knobs (scheduler, workers, re-shard
+	// policy, engine pool, telemetry, progress hook); the zero value defers
+	// to the package-wide defaults. Multi-tenant hosts set it per run.
+	Exec sim.ExecOptions
 }
 
 func (c *ENConfig) withDefaults(n int) ENConfig {
@@ -222,6 +226,7 @@ func ElkinNeiman(g *graph.Graph, src randomness.Source, ids []uint64, cfg ENConf
 		MaxMessageBits: sim.CongestBits(g.N()),
 		Adversary:      cfg.Adversary,
 	}
+	cfg.Exec.Apply(&simCfg)
 	res, err := sim.Execute(simCfg, func(int) sim.NodeProgram[enOutput] {
 		return &enProgram{cfg: cfg}
 	})

@@ -38,12 +38,19 @@ type Options struct {
 	// Workers is the pool size for the parallel engine; 0 means
 	// runtime.GOMAXPROCS(0).
 	Workers int
+	// Pool, when non-nil, is the warm engine-buffer pool every simulation
+	// of the sweep draws from (sim.EnginePool): multi-trial sweeps stop
+	// re-allocating planes and worklists per trial. Purely a performance
+	// lever — records are byte-identical pooled or not.
+	Pool *sim.EnginePool
 }
 
-// applyScheduler installs the options' engine choice as the package-wide
-// default so the algorithm wrappers the experiments call pick it up.
+// applyScheduler installs the options' engine choice and engine pool as the
+// package-wide defaults so the algorithm wrappers the experiments call pick
+// them up.
 func (o Options) applyScheduler() {
 	sim.SetDefaultScheduler(o.Scheduler, o.Workers)
+	sim.SetDefaultPool(o.Pool)
 }
 
 // Experiment is one measurement: a sweep of specs, a per-spec runner, and a

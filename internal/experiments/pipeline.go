@@ -169,8 +169,9 @@ func (r *Runner) Run(exps []*Experiment) (*Report, error) {
 	}
 	r.logf("experiments: %d specs total, %d resumed, %d to run", len(jobs), rep.Resumed, len(todo))
 
-	// The trial pool. Each worker runs specs to records; the collector
-	// owns the report map and the checkpoint file.
+	// The trial pool (shared machinery with the locsimd daemon, see
+	// pool.go). Each worker runs specs to records; the collector owns the
+	// report map and the checkpoint file.
 	workers := r.Jobs
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -181,25 +182,24 @@ func (r *Runner) Run(exps []*Experiment) (*Report, error) {
 	var mu sync.Mutex
 	var ioErr error
 	if workers > 1 {
-		ch := make(chan job)
+		pool := NewTrialPool(workers, 0)
 		var wg sync.WaitGroup
-		wg.Add(workers)
-		for i := 0; i < workers; i++ {
-			go func() {
-				defer wg.Done()
-				for j := range ch {
-					rec := runSpec(r.Opt, j)
-					mu.Lock()
-					r.collect(rep, ckpt, rec, &ioErr)
-					mu.Unlock()
-				}
-			}()
-		}
 		for _, j := range todo {
-			ch <- j
+			wg.Add(1)
+			if err := pool.Submit(func() {
+				defer wg.Done()
+				rec := runSpec(r.Opt, j)
+				mu.Lock()
+				r.collect(rep, ckpt, rec, &ioErr)
+				mu.Unlock()
+			}); err != nil {
+				// Unreachable — the Runner owns this pool and never closes it
+				// mid-sweep — but never leak the WaitGroup slot.
+				wg.Done()
+			}
 		}
-		close(ch)
 		wg.Wait()
+		pool.Close()
 	} else {
 		for _, j := range todo {
 			rec := runSpec(r.Opt, j)

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// ErrPoolClosed reports a submission to a TrialPool that has begun (or
+// finished) draining; ErrPoolBusy a TrySubmit that found the backlog full.
+var (
+	ErrPoolClosed = errors.New("experiments: trial pool closed")
+	ErrPoolBusy   = errors.New("experiments: trial pool backlog full")
+)
+
+// TrialPool is the shared trial-execution machinery: a fixed set of workers
+// draining a bounded task queue. The experiments Runner feeds it a sweep's
+// independent trials; the locsimd daemon feeds it HTTP-submitted runs — one
+// pool bounds the process's simulation concurrency either way.
+//
+// Semantics: Submit blocks while the backlog is full (the Runner's
+// throttling); TrySubmit never blocks and reports ErrPoolBusy instead (the
+// daemon's 503). After Close, both report ErrPoolClosed. Close drains: every
+// task accepted before Close runs to completion before Close returns.
+type TrialPool struct {
+	// mu serializes submissions against Close: submitters hold the read
+	// side across the channel send, so Close's write lock cannot close the
+	// channel while a send is in flight (the send-on-closed-channel race).
+	// Workers never take the lock, so a Submit blocked on a full backlog
+	// always unblocks.
+	mu      sync.RWMutex
+	tasks   chan func()
+	wg      sync.WaitGroup
+	closed  bool
+	workers int
+}
+
+// NewTrialPool starts a pool of `workers` goroutines (<= 0 means
+// runtime.GOMAXPROCS(0)) over a queue holding `backlog` pending tasks
+// (negative is clamped to 0, meaning submissions hand off directly).
+func NewTrialPool(workers, backlog int) *TrialPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if backlog < 0 {
+		backlog = 0
+	}
+	p := &TrialPool{tasks: make(chan func(), backlog), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers reports the pool's width.
+func (p *TrialPool) Workers() int { return p.workers }
+
+// Submit enqueues one task, blocking while the backlog is full. It returns
+// ErrPoolClosed (and does not run the task) after Close.
+func (p *TrialPool) Submit(task func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	p.tasks <- task
+	return nil
+}
+
+// TrySubmit enqueues one task without blocking: ErrPoolBusy when the backlog
+// is full, ErrPoolClosed after Close.
+func (p *TrialPool) TrySubmit(task func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.tasks <- task:
+		return nil
+	default:
+		return ErrPoolBusy
+	}
+}
+
+// Close stops accepting tasks, drains everything already accepted, and waits
+// for the workers to exit. Safe to call more than once.
+func (p *TrialPool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -39,6 +39,10 @@ type LubyConfig struct {
 	// adversary stream of a SimulationKey, so attaching one never changes
 	// the priority coins the nodes draw.
 	Adversary *sim.Adversary
+	// Exec carries the per-run execution knobs (scheduler, workers, re-shard
+	// policy, engine pool, telemetry, progress hook); the zero value defers
+	// to the package-wide defaults. Multi-tenant hosts set it per run.
+	Exec sim.ExecOptions
 }
 
 // lubyProgram is one node of Luby's algorithm. Each phase takes three
@@ -190,6 +194,7 @@ func Luby(g *graph.Graph, src randomness.Source, ids []uint64, cfg LubyConfig) (
 		MaxMessageBits: sim.CongestBits(g.N()),
 		Adversary:      cfg.Adversary,
 	}
+	cfg.Exec.Apply(&simCfg)
 	res, err := sim.Execute(simCfg, func(int) sim.NodeProgram[LubyOutput] {
 		return &lubyProgram{cfg: cfg}
 	})

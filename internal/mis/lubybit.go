@@ -24,6 +24,10 @@ type LubyBitConfig struct {
 	// Unpacked opts the run out of packed bit planes (A/B lever; forwarded
 	// to sim.Config.Unpacked). Results are identical either way.
 	Unpacked bool
+	// Exec carries the per-run execution knobs (scheduler, workers, re-shard
+	// policy, engine pool, telemetry, progress hook); the zero value defers
+	// to the package-wide defaults. Multi-tenant hosts set it per run.
+	Exec sim.ExecOptions
 }
 
 func (c LubyBitConfig) withDefaults(n int) LubyBitConfig {
@@ -196,6 +200,7 @@ func LubyBit(g *graph.Graph, src randomness.Source, ids []uint64, cfg LubyBitCon
 		Adversary:      cfg.Adversary,
 		Unpacked:       cfg.Unpacked,
 	}
+	cfg.Exec.Apply(&simCfg)
 	res, err := sim.Execute(simCfg, func(int) sim.NodeProgram[LubyOutput] {
 		return &lubyBitProgram{cfg: cfg}
 	})

@@ -36,19 +36,26 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 	// not plane slots, so there is nothing for a bit plane to pack. Programs
 	// declaring PayloadBits() run through their unpacked accessor backends
 	// and produce the same Result (the accounting is representation-blind).
-	st, err := newEngineStateMode(cfg, factory, false)
+	st, err := newEngineStateMode(cfg, factory, false, Concurrent)
 	if err != nil {
 		return nil, err
 	}
+	defer st.release()
 	maxRounds := st.maxRounds()
 	n := st.n
 
 	// Every node gets its own payload arena: compute phases overlap across
-	// nodes, so the shared engine arena cannot be carved concurrently.
-	// The inbox window of the bit accessors is fixed for the whole run here
-	// (this engine never swaps planes), so it too is wired once.
+	// nodes, so the shared engine arena cannot be carved concurrently. A
+	// pooled run draws the per-node arenas from the slab so their capacity
+	// survives between runs. The inbox window of the bit accessors is fixed
+	// for the whole run here (this engine never swaps planes), so it too is
+	// wired once.
 	for v := 0; v < n; v++ {
-		st.ctxs[v].arena = &arena{}
+		if st.slab != nil {
+			st.ctxs[v].arena = st.slab.nodeArena(v)
+		} else {
+			st.ctxs[v].arena = &arena{}
+		}
 		lo, hi := st.off[v], st.off[v+1]
 		st.ctxs[v].inboxWin = st.inbox[lo:hi:hi]
 	}
@@ -298,6 +305,10 @@ func RunConcurrent[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Resu
 				st.active = live
 			}
 		}
+		// This engine tracks liveness through the worklist, not st.running;
+		// sync the counter so the progress hook reports the real number.
+		st.running = len(st.active)
+		st.progress()
 	}
 	stop()
 	return st.result(), nil

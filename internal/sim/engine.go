@@ -67,6 +67,37 @@ type Config struct {
 	// recorded in Result.Telemetry.Injected, and a zero-budget adversary
 	// reproduces the fault-free Result bit for bit.
 	Adversary *Adversary
+	// Pool, when non-nil, sources the engine's buffer set (planes, arenas,
+	// worklists, per-worker staging) from the pool's warm slab for this
+	// graph shape and scheduler, and returns it when the run finishes.
+	// Purely an allocation lever — Results are byte-identical warm vs cold.
+	// nil defers to the package default (SetDefaultPool), which is unpooled
+	// out of the box.
+	Pool *EnginePool
+	// Telemetry forces telemetry collection for this run regardless of the
+	// package-wide SetTelemetry switch — the per-run lever the serving
+	// layer uses, where runs of many tenants share one process.
+	Telemetry bool
+	// Progress, when non-nil, is invoked by the coordinating goroutine at
+	// every round boundary with the run's cumulative accounting — the live
+	// feed the serving layer streams while a run executes. It must return
+	// quickly (it runs on the round's critical path) and must not call back
+	// into the engine.
+	Progress func(Progress)
+}
+
+// Progress is one round-boundary update delivered to Config.Progress.
+type Progress struct {
+	// Round counts completed rounds; the final update reports the value
+	// that becomes Result.Rounds.
+	Round int
+	// Active is the number of nodes whose Round method ran this round —
+	// the entry appended to Result.ActivePerRound.
+	Active int
+	// Running is the number of nodes still live after the round.
+	Running int
+	// Messages is the cumulative delivered-message count so far.
+	Messages int64
 }
 
 // CongestBits returns the standard CONGEST bandwidth bound used throughout
@@ -177,6 +208,10 @@ type engineState[T any] struct {
 	telInit bool
 	// adv is the per-run adversary state, nil for fault-free runs.
 	adv *advState
+	// slab/pool are set on pooled runs: the warm buffer set this run drew
+	// its planes and worklists from, returned (scrubbed) by release.
+	slab *engineSlab
+	pool *EnginePool
 
 	running     int
 	rounds      int
@@ -186,8 +221,8 @@ type engineState[T any] struct {
 	maxBits     int
 }
 
-func newEngineState[T any](cfg Config, factory func(v int) NodeProgram[T]) (*engineState[T], error) {
-	return newEngineStateMode(cfg, factory, true)
+func newEngineState[T any](cfg Config, factory func(v int) NodeProgram[T], sched Scheduler) (*engineState[T], error) {
+	return newEngineStateMode(cfg, factory, true, sched)
 }
 
 // newEngineStateMode builds the shared engine substrate. allowPacked lets the
@@ -197,7 +232,12 @@ func newEngineState[T any](cfg Config, factory func(v int) NodeProgram[T]) (*eng
 // 8-bit wire message (MaxMessageBits 0 or >= 8 — a tighter bound would reject
 // even the 1-byte encoding, and the unpacked path must be the one to say so),
 // the message planes are allocated as packed bitmaps.
-func newEngineStateMode[T any](cfg Config, factory func(v int) NodeProgram[T], allowPacked bool) (*engineState[T], error) {
+//
+// sched names the engine that will drive the state; it selects the slab
+// shelf when the run is pooled (Config.Pool / SetDefaultPool), in which case
+// every buffer below comes warm from the slab instead of make. The engine
+// entry points must pair a successful call with exactly one st.release().
+func newEngineStateMode[T any](cfg Config, factory func(v int) NodeProgram[T], allowPacked bool, sched Scheduler) (*engineState[T], error) {
 	if cfg.Graph == nil {
 		return nil, fmt.Errorf("sim: config requires a graph")
 	}
@@ -224,6 +264,14 @@ func newEngineStateMode[T any](cfg Config, factory func(v int) NodeProgram[T], a
 	}
 	off, adjf, rev := cfg.Graph.CSR()
 	h := len(adjf) // 2m half-edges
+	pool := cfg.Pool
+	if pool == nil {
+		pool = DefaultPool()
+	}
+	var slab *engineSlab
+	if pool != nil {
+		slab = pool.acquire(n, h, sched)
+	}
 	st := &engineState[T]{
 		cfg:     cfg,
 		g:       cfg.Graph,
@@ -232,12 +280,26 @@ func newEngineStateMode[T any](cfg Config, factory func(v int) NodeProgram[T], a
 		adjf:    adjf,
 		rev:     rev,
 		progs:   make([]NodeProgram[T], n),
-		active:  make([]int32, n),
-		done:    make([]bool, n),
-		arena:   &arena{},
-		ctxs:    make([]NodeCtx, n),
 		poison:  debugOutboxCheck.Load(),
 		running: n,
+		slab:    slab,
+		pool:    pool,
+	}
+	if slab != nil {
+		// The slab is parked clean (see engineSlab), so these come ready to
+		// use; contexts and worklist contents are rewritten below either way.
+		st.active = slab.active[:n]
+		st.done = slab.done
+		st.ctxs = slab.ctxs
+		st.arena = &slab.arena
+		st.staged = slab.staged
+		st.inboxSlots = slab.inboxSlots
+		st.activeTrace = slab.activeTrace
+	} else {
+		st.active = make([]int32, n)
+		st.done = make([]bool, n)
+		st.ctxs = make([]NodeCtx, n)
+		st.arena = &arena{}
 	}
 	// Programs are constructed before the planes are allocated so their
 	// declared payload widths can pick the plane representation; Init runs
@@ -254,10 +316,17 @@ func newEngineStateMode[T any](cfg Config, factory func(v int) NodeProgram[T], a
 		}
 	}
 	st.packed = packed
-	if packed {
+	switch {
+	case packed && slab != nil:
+		st.inBits = slab.plane(&slab.inBits)
+		st.outBitsPlane = slab.plane(&slab.outBits)
+	case packed:
 		st.inBits = newBitPlane(h)
 		st.outBitsPlane = newBitPlane(h)
-	} else {
+	case slab != nil:
+		st.inbox = slab.msgPlane(&slab.inbox)
+		st.outbox = slab.msgPlane(&slab.outbox)
+	default:
 		st.inbox = make([]Message, h)
 		st.outbox = make([]Message, h)
 	}
@@ -275,7 +344,11 @@ func newEngineStateMode[T any](cfg Config, factory func(v int) NodeProgram[T], a
 	// each node's view is a subslice.
 	var nids []uint64
 	if !cfg.KT0 {
-		nids = make([]uint64, h)
+		if slab != nil {
+			nids = slab.neighborIDs()
+		} else {
+			nids = make([]uint64, h)
+		}
 		if ids == nil {
 			for i, w := range adjf {
 				nids[i] = uint64(w)
@@ -527,15 +600,16 @@ func (st *engineState[T]) inboxView() inboxView {
 	return inboxView{msgs: st.inbox}
 }
 
-// initTelemetry latches the run's telemetry record once (an adversary
-// forces collection — its injected-event record is part of the run's
-// reproducibility contract) and wires it to the adversary state.
+// initTelemetry latches the run's telemetry record once (an adversary or
+// Config.Telemetry forces collection — the adversary's injected-event record
+// is part of the run's reproducibility contract, and the per-run flag is the
+// serving layer's lever) and wires it to the adversary state.
 func (st *engineState[T]) initTelemetry(sched Scheduler, workers int) {
 	if st.telInit {
 		return
 	}
 	st.telInit = true
-	st.tel = newTelemetry(sched, workers, st.adv != nil)
+	st.tel = newTelemetry(sched, workers, st.adv != nil || st.cfg.Telemetry)
 	if st.adv != nil {
 		st.adv.tel = st.tel
 	}
@@ -572,10 +646,16 @@ func (st *engineState[T]) result() *Result[T] {
 	for v := range outputs {
 		outputs[v] = st.progs[v].Output()
 	}
+	trace := st.activeTrace
+	if st.slab != nil {
+		// The trace grew in slab scratch, which release hands to the next
+		// run; the Result must own its copy.
+		trace = append([]int(nil), trace...)
+	}
 	return &Result[T]{
 		Outputs:        outputs,
 		Rounds:         st.rounds,
-		ActivePerRound: st.activeTrace,
+		ActivePerRound: trace,
 		Messages:       st.messages,
 		BitsTotal:      st.bits,
 		MaxMessageBits: st.maxBits,
@@ -588,11 +668,27 @@ func (st *engineState[T]) result() *Result[T] {
 // — every message sent in round r is delivered only at round r+1, so the
 // schedule is observationally identical to a fully parallel round.
 func Run[T any](cfg Config, factory func(v int) NodeProgram[T]) (*Result[T], error) {
-	st, err := newEngineState(cfg, factory)
+	st, err := newEngineState(cfg, factory, Sequential)
 	if err != nil {
 		return nil, err
 	}
+	defer st.release()
 	return st.runSequential(st.maxRounds())
+}
+
+// progress delivers one round-boundary update to Config.Progress, if wired.
+// Callers invoke it from the coordinating goroutine only, after the round's
+// counters (rounds, activeTrace, running, messages) are final.
+func (st *engineState[T]) progress() {
+	if st.cfg.Progress == nil || len(st.activeTrace) == 0 {
+		return
+	}
+	st.cfg.Progress(Progress{
+		Round:    st.rounds,
+		Active:   st.activeTrace[len(st.activeTrace)-1],
+		Running:  st.running,
+		Messages: st.messages,
+	})
 }
 
 // maxRounds resolves the configured round cap.
@@ -611,10 +707,18 @@ func (st *engineState[T]) maxRounds() int {
 func (st *engineState[T]) runSequential(maxRounds int) (*Result[T], error) {
 	if st.packed {
 		if st.nextBits == nil {
-			st.nextBits = newBitPlane(len(st.adjf))
+			if st.slab != nil {
+				st.nextBits = st.slab.plane(&st.slab.nextBits)
+			} else {
+				st.nextBits = newBitPlane(len(st.adjf))
+			}
 		}
 	} else if st.next == nil {
-		st.next = make([]Message, len(st.inbox))
+		if st.slab != nil {
+			st.next = st.slab.msgPlane(&st.slab.next)
+		} else {
+			st.next = make([]Message, len(st.inbox))
+		}
 	}
 	st.initTelemetry(Sequential, 1)
 	for r := 0; len(st.active) > 0; r++ {
@@ -668,6 +772,7 @@ func (st *engineState[T]) runSequential(maxRounds int) (*Result[T], error) {
 		if st.adv != nil {
 			st.adversaryBoundary(r)
 		}
+		st.progress()
 	}
 	return st.result(), nil
 }

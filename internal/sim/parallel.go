@@ -404,10 +404,11 @@ type engineStateCore struct {
 // equivalence on random GNP, tree and power-law networks under every
 // randomness regime.
 func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers int) (*Result[T], error) {
-	st, err := newEngineState(cfg, factory)
+	st, err := newEngineState(cfg, factory, Parallel)
 	if err != nil {
 		return nil, err
 	}
+	defer st.release()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -424,35 +425,44 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 	}
 
 	// Contiguous shards balanced by half-edge count: worker i owns
-	// [bounds[i], bounds[i+1]).
+	// [bounds[i], bounds[i+1]). A pooled run draws the workers, ownership
+	// tables and scratch from the slab — the structure (arenas, worklist and
+	// staging capacity, private out planes) survives between runs; everything
+	// content-like is rewired below.
 	bounds := st.g.ShardBounds(workers)
-	shardOf := make([]int32, st.n)
-	pool := make([]*parallelWorker, workers)
-	for i := 0; i < workers; i++ {
+	var shardOf []int32
+	var pool []*parallelWorker
+	if st.slab != nil {
+		shardOf = st.slab.shardTable()
+		pool = st.slab.parWorkers(workers, st.packed)
+	} else {
+		shardOf = make([]int32, st.n)
+		pool = make([]*parallelWorker, workers)
+		for i := range pool {
+			pool[i] = &parallelWorker{arena: &arena{}}
+			if st.packed {
+				// Each worker gets a private out plane (its nodes write bits
+				// there during compute, no shared words) and per-shard packed
+				// staging lists; the []Message staging machinery stays nil.
+				pool[i].out = newBitPlane(len(st.adjf))
+				pool[i].pout = make([][]uint32, workers)
+			} else {
+				pool[i].outbox = make([][]stagedMsg, workers)
+			}
+		}
+	}
+	for i, w := range pool {
 		lo, hi := bounds[i], bounds[i+1]
-		w := &parallelWorker{
-			lo: lo, hi: hi,
-			active: make([]int32, hi-lo),
-			arena:  &arena{},
-		}
-		if st.packed {
-			// Each worker gets a private out plane (its nodes write bits
-			// there during compute, no shared words) and per-shard packed
-			// staging lists; the []Message staging machinery stays nil.
-			w.out = newBitPlane(len(st.adjf))
-			w.pout = make([][]uint32, workers)
-		} else {
-			w.outbox = make([][]stagedMsg, workers)
-		}
+		w.lo, w.hi = lo, hi
+		w.active = w.active[:0]
 		for v := lo; v < hi; v++ {
 			shardOf[v] = int32(i)
-			w.active[v-lo] = int32(v)
+			w.active = append(w.active, int32(v))
 			st.ctxs[v].arena = w.arena
 			if st.packed {
 				st.ctxs[v].outBits = w.out
 			}
 		}
-		pool[i] = w
 	}
 	core := &engineStateCore{
 		off:            st.off,
@@ -483,7 +493,11 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 		}
 	}
 	if st.packed {
-		core.wordShardOf = make([]int32, st.inBits.words())
+		if st.slab != nil {
+			core.wordShardOf = st.slab.wordShardTable(st.inBits.words())
+		} else {
+			core.wordShardOf = make([]int32, st.inBits.words())
+		}
 		applyWordBounds(bounds)
 	}
 
@@ -540,8 +554,15 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 	// it to the pool. Arenas stay with their workers and every arena still
 	// rotates once per round, so payloads carved before the cut remain live
 	// exactly as long as the retention rule promises.
-	liveScratch := make([]int32, 0, st.n)
-	var slotScratch []int32
+	var liveScratch, slotScratch []int32
+	if s := st.slab; s != nil {
+		// The coordinator's big gather buffers come warm from the slab; hand
+		// the (possibly grown) headers back before release scrubs them.
+		liveScratch, slotScratch = s.liveScratch[:0], s.slotScratch[:0]
+		defer func() { s.liveScratch, s.slotScratch = liveScratch, slotScratch }()
+	} else {
+		liveScratch = make([]int32, 0, st.n)
+	}
 	var boundsScratch []int
 	var prefixScratch []int64
 	reshard := func(live []int32) {
@@ -778,6 +799,7 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 				lastReshard = liveN
 			}
 		}
+		st.progress()
 	}
 	stop()
 	return st.result(), nil

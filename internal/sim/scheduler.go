@@ -62,6 +62,7 @@ var defaultMu sync.RWMutex
 var defaultScheduler = Sequential
 var defaultWorkers = 0 // 0 = GOMAXPROCS for the parallel engine
 var defaultReshard = ReshardAdaptive
+var defaultPool *EnginePool // nil = allocate fresh per run
 
 // SetDefaultScheduler sets the engine used when a Config leaves Scheduler
 // as Auto — the lever the command-line front ends use to steer every
@@ -105,6 +106,62 @@ func DefaultReshard() ReshardPolicy {
 	defaultMu.RLock()
 	defer defaultMu.RUnlock()
 	return defaultReshard
+}
+
+// SetDefaultPool sets the EnginePool runs draw their buffer slabs from when a
+// Config leaves Pool nil — the lever single-tenant front ends (the
+// experiments Runner, locsim) use to warm every simulation they start
+// internally. nil restores the historical allocate-fresh behavior. An
+// explicit Config.Pool always wins. Multi-tenant hosts (the locsimd daemon)
+// should prefer the per-run field so concurrent workloads do not share a
+// global mutable default.
+func SetDefaultPool(p *EnginePool) {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	defaultPool = p
+}
+
+// DefaultPool reports the current package-wide default engine pool (nil when
+// unpooled).
+func DefaultPool() *EnginePool {
+	defaultMu.RLock()
+	defer defaultMu.RUnlock()
+	return defaultPool
+}
+
+// ExecOptions bundles the per-run execution knobs a front end threads through
+// an algorithm wrapper's config: which engine, how many workers, which
+// re-shard policy, whether to force the unpacked message planes, which engine
+// pool to draw buffers from, whether to record telemetry, and an optional
+// per-round progress hook. The zero value defers every choice to the
+// package-wide defaults, exactly as before; multi-tenant hosts set these
+// per run instead of mutating the global defaults under their feet.
+type ExecOptions struct {
+	Scheduler Scheduler
+	Workers   int
+	Reshard   ReshardPolicy
+	Unpacked  bool
+	Telemetry bool
+	Pool      *EnginePool
+	Progress  func(Progress)
+}
+
+// Apply copies the options onto a Config. Zero-valued fields are themselves
+// the "defer to default" encodings of their Config fields, so a wholesale
+// copy is correct; the booleans only ever force a behavior on (they cannot
+// un-set a config that already asked for it).
+func (o ExecOptions) Apply(cfg *Config) {
+	cfg.Scheduler = o.Scheduler
+	cfg.Workers = o.Workers
+	cfg.Reshard = o.Reshard
+	if o.Unpacked {
+		cfg.Unpacked = true
+	}
+	if o.Telemetry {
+		cfg.Telemetry = true
+	}
+	cfg.Pool = o.Pool
+	cfg.Progress = o.Progress
 }
 
 // Execute runs the simulation on the engine named by cfg.Scheduler,

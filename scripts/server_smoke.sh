@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# server_smoke.sh — CI smoke test for the locsimd simulation daemon.
+#
+# Exercises the service guarantees end to end, over real HTTP:
+#   1. The daemon starts, binds, and reports its address.
+#   2. A submitted Luby run executes to a valid outcome whose rounds and
+#      |MIS| match a direct same-seed `locsim` run (CLI equivalence).
+#   3. A faulted Elkin–Neiman run reports the same verdict and rounds the
+#      CLI prints — and the CLI exits nonzero on the rejected run.
+#   4. The SSE stream delivers per-round progress events and a terminal
+#      done event carrying the telemetry summary.
+#   5. SIGTERM drains gracefully: in-flight work finishes, the process
+#      logs the drain and exits cleanly.
+#
+# No jq dependency: JSON fields are extracted with grep/sed.
+#
+# Usage: scripts/server_smoke.sh [workdir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-server-smoke-out}"
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+DAEMON_PID=""
+cleanup() {
+  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -9 "$DAEMON_PID" 2>/dev/null || true
+  fi
+}
+trap cleanup EXIT
+
+json_field() { # json_field <file> <name> — first numeric value of "name":N
+  grep -o "\"$2\":[0-9-]*" "$1" | head -1 | cut -d: -f2
+}
+
+echo "== build"
+go build -o "$OUT/locsim" ./cmd/locsim
+go build -o "$OUT/locsimd" ./cmd/locsimd
+
+echo "== start daemon"
+"$OUT/locsimd" -addr 127.0.0.1:0 -jobs 2 -backlog 4 >"$OUT/daemon.log" 2>&1 &
+DAEMON_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+  ADDR="$(sed -n 's/^locsimd: listening on //p' "$OUT/daemon.log" | head -1)"
+  [[ -n "$ADDR" ]] && break
+  kill -0 "$DAEMON_PID" || { echo "daemon died at startup"; cat "$OUT/daemon.log"; exit 1; }
+  sleep 0.1
+done
+[[ -n "$ADDR" ]] || { echo "daemon never reported its address"; cat "$OUT/daemon.log"; exit 1; }
+BASE="http://$ADDR"
+echo "daemon at $BASE (pid $DAEMON_PID)"
+curl -fsS "$BASE/healthz" | grep -q '"status":"ok"'
+
+submit() { # submit <json> — prints run id
+  local resp
+  resp="$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$1" "$BASE/v1/runs")"
+  echo "$resp" | grep -o '"id":"[^"]*"' | cut -d'"' -f4
+}
+
+poll_done() { # poll_done <id> <outfile> — waits for done/failed status
+  local id="$1" out="$2" status=""
+  for _ in $(seq 1 300); do
+    curl -fsS "$BASE/v1/runs/$id" >"$out"
+    status="$(grep -o '"status":"[^"]*"' "$out" | head -1 | cut -d'"' -f4)"
+    [[ "$status" == "done" || "$status" == "failed" ]] && { echo "$status"; return; }
+    sleep 0.1
+  done
+  echo "timeout"
+}
+
+echo "== Luby run via daemon"
+LUBY_ID="$(submit '{"algo":"luby","n":512,"seed":42}')"
+[[ -n "$LUBY_ID" ]] || { echo "no id returned"; exit 1; }
+STATUS="$(poll_done "$LUBY_ID" "$OUT/luby.json")"
+[[ "$STATUS" == "done" ]] || { echo "luby run status: $STATUS"; cat "$OUT/luby.json"; exit 1; }
+grep -q '"valid":true' "$OUT/luby.json" || { echo "luby run not valid"; cat "$OUT/luby.json"; exit 1; }
+DAEMON_ROUNDS="$(json_field "$OUT/luby.json" rounds)"
+DAEMON_MIS="$(grep -o '|MIS|=[0-9]*' "$OUT/luby.json" | head -1 | cut -d= -f2)"
+
+echo "== Luby run via CLI (same seed)"
+"$OUT/locsim" -algo luby -n 512 -seed 42 >"$OUT/luby.cli" 2>&1
+CLI_ROUNDS="$(grep -o 'rounds=[0-9]*' "$OUT/luby.cli" | head -1 | cut -d= -f2)"
+CLI_MIS="$(grep -o '|MIS|=[0-9]*' "$OUT/luby.cli" | head -1 | cut -d= -f2)"
+echo "daemon: rounds=$DAEMON_ROUNDS |MIS|=$DAEMON_MIS; cli: rounds=$CLI_ROUNDS |MIS|=$CLI_MIS"
+[[ "$DAEMON_ROUNDS" == "$CLI_ROUNDS" && -n "$DAEMON_ROUNDS" ]] || { echo "rounds mismatch"; exit 1; }
+[[ "$DAEMON_MIS" == "$CLI_MIS" && -n "$DAEMON_MIS" ]] || { echo "|MIS| mismatch"; exit 1; }
+
+echo "== faulted EN run via daemon"
+EN_ID="$(submit '{"algo":"en","n":256,"seed":1,"adversary":{"drop":0.3,"crash":4}}')"
+STATUS="$(poll_done "$EN_ID" "$OUT/en.json")"
+[[ "$STATUS" == "done" ]] || { echo "faulted EN status: $STATUS"; cat "$OUT/en.json"; exit 1; }
+EN_DAEMON_ROUNDS="$(json_field "$OUT/en.json" rounds)"
+EN_DAEMON_VALID="$(grep -o '"valid":\(true\|false\)' "$OUT/en.json" | head -1 | cut -d: -f2)"
+
+echo "== faulted EN run via CLI (same seed + budgets)"
+set +e
+"$OUT/locsim" -algo en -n 256 -seed 1 -drop 0.3 -crash 4 >"$OUT/en.cli" 2>&1
+EN_CLI_EXIT=$?
+set -e
+if grep -q 'INVALID\|INCOMPLETE' "$OUT/en.cli"; then
+  EN_CLI_VALID=false
+  # A rejected run must exit nonzero — the checker-verdict exit-code contract.
+  [[ "$EN_CLI_EXIT" -ne 0 ]] || { echo "CLI rejected the run but exited 0"; exit 1; }
+else
+  EN_CLI_VALID=true
+  [[ "$EN_CLI_EXIT" -eq 0 ]] || { echo "CLI valid run exited $EN_CLI_EXIT"; cat "$OUT/en.cli"; exit 1; }
+fi
+EN_CLI_ROUNDS="$(grep -o 'rounds=[0-9]*' "$OUT/en.cli" | head -1 | cut -d= -f2)"
+echo "daemon: valid=$EN_DAEMON_VALID rounds=$EN_DAEMON_ROUNDS; cli: valid=$EN_CLI_VALID rounds=$EN_CLI_ROUNDS (exit $EN_CLI_EXIT)"
+[[ "$EN_DAEMON_VALID" == "$EN_CLI_VALID" ]] || { echo "verdict mismatch"; exit 1; }
+[[ "$EN_DAEMON_ROUNDS" == "$EN_CLI_ROUNDS" && -n "$EN_DAEMON_ROUNDS" ]] || { echo "faulted rounds mismatch"; exit 1; }
+grep -q '"injected"' "$OUT/en.json" || { echo "faulted outcome missing injected-fault telemetry"; exit 1; }
+
+echo "== progress stream"
+curl -fsS -N --max-time 30 "$BASE/v1/runs/$LUBY_ID/stream" >"$OUT/stream.txt" || true
+PROGRESS_EVENTS="$(grep -c '^event: progress$' "$OUT/stream.txt" || true)"
+grep -q '^event: done$' "$OUT/stream.txt" || { echo "stream missing done event"; cat "$OUT/stream.txt"; exit 1; }
+[[ "$PROGRESS_EVENTS" -ge 1 ]] || { echo "stream delivered no progress events"; cat "$OUT/stream.txt"; exit 1; }
+[[ "$PROGRESS_EVENTS" == "$DAEMON_ROUNDS" ]] || { echo "stream had $PROGRESS_EVENTS progress events, want one per round ($DAEMON_ROUNDS)"; exit 1; }
+grep '^event: done$' -A1 "$OUT/stream.txt" | grep -q '"telemetry"' || { echo "done event missing telemetry"; exit 1; }
+echo "stream: $PROGRESS_EVENTS progress events + done with telemetry"
+
+echo "== graceful SIGTERM drain"
+# Park a slow run so the drain has something in flight, then signal.
+SLOW_ID="$(submit '{"algo":"en","n":4000,"seed":3}')"
+kill -TERM "$DAEMON_PID"
+WAITED=0
+while kill -0 "$DAEMON_PID" 2>/dev/null; do
+  sleep 0.2
+  WAITED=$((WAITED + 1))
+  [[ "$WAITED" -lt 150 ]] || { echo "daemon did not exit after SIGTERM"; cat "$OUT/daemon.log"; exit 1; }
+done
+set +e
+wait "$DAEMON_PID"
+DAEMON_EXIT=$?
+set -e
+DAEMON_PID=""
+[[ "$DAEMON_EXIT" -eq 0 ]] || { echo "daemon exited $DAEMON_EXIT"; cat "$OUT/daemon.log"; exit 1; }
+grep -q 'draining' "$OUT/daemon.log" || { echo "daemon log missing drain"; cat "$OUT/daemon.log"; exit 1; }
+grep -q 'drained [0-9]* in-flight' "$OUT/daemon.log" || { echo "daemon log missing drain count"; cat "$OUT/daemon.log"; exit 1; }
+grep -q 'shutdown complete' "$OUT/daemon.log" || { echo "daemon log missing clean shutdown"; cat "$OUT/daemon.log"; exit 1; }
+echo "drain: $(grep 'drained' "$OUT/daemon.log") (slow run $SLOW_ID accepted before signal)"
+
+echo "server smoke: OK"
