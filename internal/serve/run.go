@@ -99,6 +99,28 @@ func (r *RunRequest) Validate() error {
 	if r.P < 0 || r.P > 1 {
 		return fmt.Errorf("p %v outside [0, 1]", r.P)
 	}
+	if r.Deg < 0 {
+		return fmt.Errorf("deg must be nonnegative, got %d", r.Deg)
+	}
+	// Per-family feasibility: the generators panic on infeasible shapes, so
+	// reject them here rather than crashing a pool worker.
+	switch r.Graph {
+	case "cliques":
+		if r.N < 4 {
+			return fmt.Errorf("graph cliques needs n >= 4 (one clique of size 4), got n=%d", r.N)
+		}
+	case "regular":
+		deg := r.Deg
+		if deg == 0 {
+			deg = 3 // the CLI default BuildGraph applies
+		}
+		if deg >= r.N {
+			return fmt.Errorf("graph regular needs deg < n, got deg=%d n=%d", deg, r.N)
+		}
+		if r.N*deg%2 != 0 {
+			return fmt.Errorf("graph regular needs n*deg even, got n=%d deg=%d", r.N, deg)
+		}
+	}
 	if _, err := sim.ParseScheduler(r.Scheduler); err != nil {
 		return err
 	}

@@ -3,11 +3,13 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -34,11 +36,57 @@ func TestValidate(t *testing.T) {
 		{Algo: "luby", N: 64, Scheduler: "gpu"},  // bad scheduler
 		{Algo: "luby", N: 64, Reshard: "always"}, // bad policy
 		{Algo: "luby", N: 64, Adversary: AdversaryKnobs{Drop: -0.1}},
+		{Algo: "luby", N: 64, Deg: -1},                    // negative deg
+		{Algo: "luby", N: 3, Graph: "cliques"},            // RingOfCliques(0, 4) would panic
+		{Algo: "luby", N: 4, Graph: "regular", Deg: 4},    // deg >= n
+		{Algo: "luby", N: 64, Graph: "regular", Deg: 100}, // deg >= n
+		{Algo: "luby", N: 5, Graph: "regular", Deg: 3},    // n*deg odd
+		{Algo: "luby", N: 5, Graph: "regular"},            // default deg 3, n*deg odd
+		{Algo: "luby", N: 64, Graph: "regular", Deg: -2},  // negative deg
 	}
 	for i, req := range bad {
 		if err := req.Validate(); err == nil {
 			t.Errorf("bad request %d accepted: %+v", i, req)
 		}
+	}
+	// Feasible shapes of the guarded families still pass.
+	for i, req := range []RunRequest{
+		{Algo: "luby", N: 4, Seed: 1, Graph: "cliques"},
+		{Algo: "luby", N: 64, Seed: 1, Graph: "regular"},
+		{Algo: "luby", N: 64, Seed: 1, Graph: "regular", Deg: 4},
+	} {
+		if err := req.Validate(); err != nil {
+			t.Errorf("feasible request %d rejected: %v", i, err)
+		}
+	}
+}
+
+// TestExecuteInfeasibleGraphs: the review's DoS repro and friends — requests
+// whose generators would panic must come back as request errors, never reach
+// the generator, and never kill the caller.
+func TestExecuteInfeasibleGraphs(t *testing.T) {
+	for _, req := range []RunRequest{
+		{Algo: "luby", Graph: "cliques", N: 3, Seed: 1},
+		{Algo: "luby", Graph: "regular", N: 5, Seed: 1},
+		{Algo: "en", Graph: "regular", N: 8, Deg: 9, Seed: 1},
+	} {
+		out, err := Execute(req, sim.ExecOptions{})
+		if err == nil {
+			t.Errorf("infeasible request %+v executed: %+v", req, out)
+		}
+	}
+}
+
+// TestRunGuarded: a panicking run converts to a failed-run error instead of
+// killing the pool worker (and with it the daemon).
+func TestRunGuarded(t *testing.T) {
+	out, err := runGuarded(func() (*RunOutcome, error) { panic("boom") })
+	if out != nil || err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("runGuarded(panic) = %v, %v; want nil, panic error", out, err)
+	}
+	out, err = runGuarded(func() (*RunOutcome, error) { return &RunOutcome{Valid: true}, nil })
+	if err != nil || out == nil || !out.Valid {
+		t.Fatalf("runGuarded(ok) = %v, %v", out, err)
 	}
 }
 
@@ -303,6 +351,14 @@ func TestServerRejectsBadRequests(t *testing.T) {
 	if code := post(`not json`); code != http.StatusBadRequest {
 		t.Errorf("garbage body: status %d", code)
 	}
+	// The single-request-DoS repro: an infeasible graph shape must bounce
+	// with 400, not panic a worker.
+	if code := post(`{"algo":"luby","graph":"cliques","n":3,"seed":1}`); code != http.StatusBadRequest {
+		t.Errorf("infeasible cliques request: status %d", code)
+	}
+	if code := post(`{"algo":"luby","graph":"regular","n":5,"seed":1}`); code != http.StatusBadRequest {
+		t.Errorf("infeasible regular request: status %d", code)
+	}
 	resp, err := http.Get(ts.URL + "/v1/runs/r999")
 	if err != nil {
 		t.Fatal(err)
@@ -367,6 +423,116 @@ func TestServerBusy(t *testing.T) {
 	close(gate)
 	if n := srv.Drain(); n < 0 {
 		t.Errorf("drain reported %d", n)
+	}
+}
+
+// TestServerSubmitWithdrawRace: concurrent submissions while the worker is
+// blocked and the backlog is tiny mix accepted and bounced runs; a bounced
+// submission must withdraw exactly its own id, so the listing afterwards is
+// consistent (every accepted run present, no nil entries panicking view()).
+func TestServerSubmitWithdrawRace(t *testing.T) {
+	srv := NewServer(Options{Jobs: 1, Backlog: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	gate := make(chan struct{})
+	if err := srv.pool.Submit(func() { <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(RunRequest{Algo: "luby", N: 64, Seed: 1})
+	const submitters = 16
+	accepted := make(chan string, submitters)
+	var wg sync.WaitGroup
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				var out struct {
+					ID string `json:"id"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+					t.Error(err)
+					return
+				}
+				accepted <- out.ID
+			case http.StatusServiceUnavailable:
+			default:
+				t.Errorf("unexpected submit status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(accepted)
+	want := map[string]bool{}
+	for id := range accepted {
+		want[id] = true
+	}
+
+	// The listing must not panic (a dangling order id would nil-deref in
+	// view()) and must hold exactly the accepted runs.
+	resp, err := http.Get(ts.URL + "/v1/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("listing after racy submissions: status %d", resp.StatusCode)
+	}
+	var list struct {
+		Runs []runView `json:"runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Runs) != len(want) {
+		t.Errorf("listing has %d runs, want the %d accepted", len(list.Runs), len(want))
+	}
+	for _, v := range list.Runs {
+		if !want[v.ID] {
+			t.Errorf("listing holds unexpected run %q", v.ID)
+		}
+	}
+	close(gate)
+	srv.Drain()
+}
+
+// TestStreamClientDisconnect: a stream subscriber that goes away while its
+// run is idle (no progress appends coming) must release the handler promptly
+// — the ctx.Done wakeup must not be lost against the cond.Wait loop.
+func TestStreamClientDisconnect(t *testing.T) {
+	srv := NewServer(Options{Jobs: 1})
+	defer srv.Drain()
+
+	// A hand-planted run stuck in "running" with no progress: the only
+	// thing that can wake the stream loop is the disconnect broadcast.
+	rn := newRun("r1", RunRequest{Algo: "luby", N: 64, Seed: 1})
+	rn.status = "running"
+	srv.mu.Lock()
+	srv.runs[rn.id] = rn
+	srv.order = append(srv.order, rn.id)
+	srv.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("GET", "/v1/runs/r1/stream", nil).WithContext(ctx)
+	done := make(chan struct{})
+	go func() {
+		srv.Handler().ServeHTTP(httptest.NewRecorder(), req)
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the handler park in cond.Wait
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream handler still blocked after client disconnect")
 	}
 }
 

@@ -209,10 +209,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	if err := s.pool.TrySubmit(func() { s.execute(rn) }); err != nil {
 		// Busy or closed: the run never started; withdraw it so the
-		// listing doesn't show a permanently-queued ghost.
+		// listing doesn't show a permanently-queued ghost. Remove the id
+		// by value — a concurrent submit may have appended after ours, so
+		// truncating the tail could drop someone else's run.
 		s.mu.Lock()
 		delete(s.runs, rn.id)
-		s.order = s.order[:len(s.order)-1]
+		for i := len(s.order) - 1; i >= 0; i-- {
+			if s.order[i] == rn.id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
 		s.mu.Unlock()
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
@@ -227,12 +234,27 @@ func (s *Server) execute(rn *run) {
 	rn.mu.Lock()
 	rn.status = "running"
 	rn.mu.Unlock()
-	out, err := Execute(rn.req, sim.ExecOptions{
-		Telemetry: true,
-		Pool:      s.engines,
-		Progress:  rn.observe,
+	out, err := runGuarded(func() (*RunOutcome, error) {
+		return Execute(rn.req, sim.ExecOptions{
+			Telemetry: true,
+			Pool:      s.engines,
+			Progress:  rn.observe,
+		})
 	})
 	rn.finish(out, err)
+}
+
+// runGuarded invokes fn, converting a panic into a failed-run error. Validate
+// rejects known-infeasible requests up front; this backstop keeps anything
+// that still slips through from killing the pool worker — one request must
+// never take down the daemon.
+func runGuarded(fn func() (*RunOutcome, error)) (out *RunOutcome, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			out, err = nil, fmt.Errorf("run panicked: %v", p)
+		}
+	}()
+	return fn()
 }
 
 func (s *Server) lookup(id string) *run {
@@ -301,7 +323,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	go func() {
 		<-ctx.Done()
+		// Hold rn.mu so the Broadcast is ordered against the wait loop's
+		// ctx.Err() check; an unlocked Broadcast can land between that
+		// check and cond.Wait and be lost.
+		rn.mu.Lock()
 		rn.cond.Broadcast()
+		rn.mu.Unlock()
 	}()
 
 	emit := func(event string, v any) bool {
