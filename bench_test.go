@@ -586,6 +586,34 @@ func BenchmarkLubyPacked(b *testing.B) {
 	}
 }
 
+// BenchmarkRunParallelLubyPacked runs the packed 1-bit Luby program on the
+// sharded worker pool: word-rounded plane windows, packed per-shard staging,
+// and — under the topology-aware defaults — pinned workers with first-touched
+// windows and adaptive pool width. The Result is byte-identical to
+// BenchmarkLubyPacked's sequential rows for equal seeds; the ns/op delta is
+// pure engine overhead or speedup.
+func BenchmarkRunParallelLubyPacked(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 20} {
+		for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				skipHeavy(b, n)
+				g := benchEngineGraph(n)
+				cfg := SimConfig{Graph: g, MaxMessageBits: CongestBits(n)}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cfg.Source = NewFullRandomness(uint64(i) + 1)
+					res, err := RunParallel(cfg, NewLubyBitProgramSlab(n, LubyBitConfig{}), workers)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.Messages), "msgs")
+					b.ReportMetric(float64(res.Rounds), "rounds")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFloodMinBit measures the pure-messaging 1-bit workload — a
 // fixed-round AND-flood where every node broadcasts every round — packed
 // against unpacked, at the engine-scaling sizes. This is the densest load

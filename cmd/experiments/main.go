@@ -40,7 +40,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "run smaller, faster versions of every experiment")
 	seed := fs.Uint64("seed", 2019, "master seed (2019 reproduces EXPERIMENTS.md)")
-	exp := fs.String("experiment", "", "comma-separated experiment IDs to run (E1..E12; empty = all)")
+	exp := fs.String("experiment", "", "comma-separated experiment IDs to run (E1..E13; empty = all)")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	scheduler := fs.String("scheduler", "sequential", "simulation engine: sequential | concurrent | parallel")
 	workers := fs.Int("workers", 0, "worker-pool size for -scheduler parallel (0 = GOMAXPROCS)")

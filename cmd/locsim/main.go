@@ -53,8 +53,9 @@ func run(args []string) error {
 	h := fs.Int("h", 2, "bit-holder sparseness for lowrand/strong37")
 	seed := fs.Uint64("seed", 1, "random seed")
 	scheduler := fs.String("scheduler", "sequential", "simulation engine: sequential | concurrent | parallel")
-	workers := fs.Int("workers", 0, "worker-pool size for -scheduler parallel (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "worker-pool size for -scheduler parallel (0 = GOMAXPROCS, clamped to the node count)")
 	reshard := fs.String("reshard", "adaptive", "parallel re-shard policy: adaptive | halving | off")
+	place := fs.String("place", "auto", "parallel worker placement: auto | pin | none (pin locks workers to OS threads and first-touches their shard windows)")
 	telemetry := fs.Bool("telemetry", false, "collect per-round scheduling telemetry and print a summary for the single-simulation algorithms (en, luby, lubybit, coloring); delivery modes are packed (bit planes), dense (plane sweep), sparse (staged-slot walk) and channels (concurrent engine)")
 	drop := fs.Float64("drop", 0, "adversary: per-message drop probability (en, luby, coloring)")
 	delay := fs.Float64("delay", 0, "adversary: per-message delay probability")
@@ -74,8 +75,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	placePolicy, err := sim.ParsePlacePolicy(*place)
+	if err != nil {
+		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
 	sim.SetDefaultScheduler(sched, *workers)
 	sim.SetDefaultReshard(policy)
+	sim.SetDefaultPlace(placePolicy)
+	defer sim.SetDefaultPlace(sim.PlaceAuto)
 	sim.SetTelemetry(*telemetry)
 	if *telemetry {
 		defer sim.SetTelemetry(false)
@@ -111,6 +121,12 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("graph: %v diameter=%d\n", g, graph.Diameter(g))
+	if sched == sim.Parallel && *workers > g.N() {
+		// The engine clamps a pool wider than the node count (a shard needs
+		// at least one node); say so rather than silently running narrower.
+		fmt.Printf("note: -workers %d exceeds n=%d; running %d workers\n", *workers, g.N(), g.N())
+		sim.SetDefaultScheduler(sched, g.N())
+	}
 
 	switch *algo {
 	case "en":
@@ -345,6 +361,46 @@ func printTelemetry(tel *sim.Telemetry) {
 		float64(wallNS)/1e6, float64(computeNS)/1e6, float64(idleNS)/1e6)
 	if packed+dense+sparse > 0 {
 		fmt.Printf("telemetry: delivery modes: %d packed / %d dense / %d sparse (per worker-round)\n", packed, dense, sparse)
+	}
+	if len(tel.PoolWidthPerRound) > 0 {
+		// The effective pool width per round: the adaptive ledger parks
+		// surplus workers through the shattering tail, so min can sit well
+		// below the configured worker count.
+		minW, maxW := tel.PoolWidthPerRound[0], tel.PoolWidthPerRound[0]
+		for _, w := range tel.PoolWidthPerRound {
+			if w < minW {
+				minW = w
+			}
+			if w > maxW {
+				maxW = w
+			}
+		}
+		fmt.Printf("telemetry: effective pool width: %d configured, %d-%d active per round\n",
+			tel.Workers, minW, maxW)
+	}
+	if len(tel.CrossShardStaged) > 0 {
+		var diag, cross int64
+		for i, row := range tel.CrossShardStaged {
+			for j, c := range row {
+				if i == j {
+					diag += c
+				} else {
+					cross += c
+				}
+			}
+		}
+		if diag+cross > 0 {
+			fmt.Printf("telemetry: cross-shard staging: %d of %d staged messages crossed shards (%.1f%%)\n",
+				cross, diag+cross, 100*float64(cross)/float64(diag+cross))
+		}
+	}
+	for _, ev := range tel.Places {
+		when := fmt.Sprintf("after round %d", ev.Round)
+		if ev.Round < 0 {
+			when = "at setup"
+		}
+		fmt.Printf("telemetry: placement %s: width=%d pinned=%v moved=%d touched=%v\n",
+			when, ev.Width, ev.Pinned, ev.Moved, ev.Touched)
 	}
 	for _, ev := range tel.Reshards {
 		fmt.Printf("telemetry: reshard after round %d over %d live nodes (cost %.2fms, imbalance debt %.2fms)\n",

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+
+	"randlocal/internal/check"
+	"randlocal/internal/graph"
+	"randlocal/internal/mis"
+	"randlocal/internal/prng"
+	"randlocal/internal/randomness"
+	"randlocal/internal/sim"
+)
+
+// E13 is the multi-core execution-policy matrix deferred since the parallel
+// engine landed: every combination of re-shard policy (adaptive / halving /
+// off) and placement policy (pin / none) runs the *same* Luby instance with
+// the same coins, so the table demonstrates the engine's core invariant —
+// Results are byte-identical across execution policies; policy moves wall
+// clock only — and records which policy actually wins on this host.
+//
+// The wall-clock column reads RunRecord.ElapsedNS, which is measurement
+// metadata excluded from checkpoint-resume equality (EqualStable) and from
+// the CI smoke diff; the stable Values are the counters the invariant pins
+// (rounds, messages, bits, MIS size), identical across all six units by
+// construction.
+
+// e13Workers is the configured pool width. Four keeps the sweep meaningful
+// on multi-core hosts while the adaptive policy's processor clamp (see
+// sim.ReshardAdaptive) collapses it honestly on smaller ones — the
+// poolWidth column records what the engine actually ran.
+const e13Workers = 4
+
+type e13Config struct {
+	unit    string
+	reshard sim.ReshardPolicy
+	place   sim.PlacePolicy
+}
+
+var e13Configs = []e13Config{
+	{"adaptive/pin", sim.ReshardAdaptive, sim.PlacePin},
+	{"adaptive/none", sim.ReshardAdaptive, sim.PlaceNone},
+	{"halving/pin", sim.ReshardHalving, sim.PlacePin},
+	{"halving/none", sim.ReshardHalving, sim.PlaceNone},
+	{"off/pin", sim.ReshardOff, sim.PlacePin},
+	{"off/none", sim.ReshardOff, sim.PlaceNone},
+}
+
+func e13ConfigOf(unit string) *e13Config {
+	for i := range e13Configs {
+		if e13Configs[i].unit == unit {
+			return &e13Configs[i]
+		}
+	}
+	return nil
+}
+
+func e13Sizes(opt Options) []int {
+	if opt.Quick {
+		return []int{1 << 10}
+	}
+	return []int{1 << 14, 1 << 16}
+}
+
+func e13Trials(opt Options) int {
+	if opt.Quick {
+		return 1
+	}
+	return 3
+}
+
+var E13 = &Experiment{
+	ID:    "E13",
+	Title: "Parallel execution-policy matrix: re-shard × placement on one Luby instance",
+	Claim: "execution policy is a wall-clock lever only — rounds/messages/bits are byte-identical across adaptive/halving/off × pin/none at every size",
+	Specs: func(opt Options) []RunSpec {
+		var specs []RunSpec
+		for _, n := range e13Sizes(opt) {
+			for _, cfg := range e13Configs {
+				for t := 0; t < e13Trials(opt); t++ {
+					specs = append(specs, RunSpec{Experiment: "E13", Unit: cfg.unit, N: n, Trial: t})
+				}
+			}
+		}
+		return specs
+	},
+	Run: func(opt Options, spec RunSpec) *RunRecord {
+		rec := newRecord(spec)
+		cfg := e13ConfigOf(spec.Unit)
+		if cfg == nil {
+			return rec.fail("unknown unit " + spec.Unit)
+		}
+		n := spec.N
+		// Shared instance and shared per-trial coins: all six policy units
+		// at the same (n, trial) solve the identical problem with the
+		// identical randomness, so any divergence in the stable counters
+		// would be an engine-equivalence bug, not noise.
+		g := graph.GNPConnected(n, 4.0/float64(n), prng.New(spec.sharedSeed(opt.Seed, "instance")))
+		coins := spec.sharedSeed(opt.Seed, fmt.Sprintf("coins/trial=%d", spec.Trial))
+		in, res, err := mis.Luby(g, randomness.NewFull(coins), nil, mis.LubyConfig{
+			Exec: sim.ExecOptions{
+				Scheduler: sim.Parallel,
+				Workers:   e13Workers,
+				Reshard:   cfg.reshard,
+				Place:     cfg.place,
+				Telemetry: true,
+			},
+		})
+		if err != nil {
+			return rec.fail(err.Error())
+		}
+		if err := check.MIS(g, in); err != nil {
+			return rec.fail(err.Error())
+		}
+		size := 0
+		for _, b := range in {
+			if b {
+				size++
+			}
+		}
+		rec.set("rounds", float64(res.Rounds))
+		rec.set("messages", float64(res.Messages))
+		rec.set("bits", float64(res.BitsTotal))
+		rec.set("misSize", float64(size))
+		if res.Telemetry != nil {
+			// The width the engine actually ran: the adaptive policy clamps
+			// the configured pool to the host's processor count (collapsing
+			// to the sequential engine at width 1), so this is
+			// host-dependent but deterministic per host.
+			rec.set("poolWidth", float64(res.Telemetry.Workers))
+		}
+		return rec
+	},
+	Table: func(opt Options, rep *Report) *Table {
+		t := tableFor("E13", []string{"reshard", "place", "n", "rounds", "messages", "bits/node", "|MIS|", "width", "wall ms", "identical", "trials", "failures"})
+		for _, n := range e13Sizes(opt) {
+			// Reference counters from the first unit: the "identical"
+			// column checks every other unit against them, trial by trial.
+			ref := rep.trialsOf("E13", e13Configs[0].unit, n, e13Trials(opt))
+			for _, cfg := range e13Configs {
+				recs := rep.trialsOf("E13", cfg.unit, n, e13Trials(opt))
+				if len(recs) == 0 {
+					continue
+				}
+				r := summarize(collect(recs, "rounds"))
+				msgs := summarize(collect(recs, "messages"))
+				bits := summarize(collect(recs, "bits"))
+				misSize := summarize(collect(recs, "misSize"))
+				width := summarize(collect(recs, "poolWidth"))
+				var wallNS float64
+				for _, rec := range recs {
+					wallNS += float64(rec.ElapsedNS)
+				}
+				wallNS /= float64(len(recs))
+				identical := len(recs) == len(ref)
+				for i := range recs {
+					if identical && i < len(ref) {
+						identical = recs[i].val("rounds") == ref[i].val("rounds") &&
+							recs[i].val("messages") == ref[i].val("messages") &&
+							recs[i].val("bits") == ref[i].val("bits") &&
+							recs[i].val("misSize") == ref[i].val("misSize")
+					}
+				}
+				slash := 0
+				for i := range cfg.unit {
+					if cfg.unit[i] == '/' {
+						slash = i
+						break
+					}
+				}
+				t.AddRow(cfg.unit[:slash], cfg.unit[slash+1:], itoa(n),
+					d0(r.mean), d0(msgs.mean), f1(bits.mean/float64(n)), d0(misSize.mean),
+					d0(width.mean), f1(wallNS/1e6), yesNo(identical),
+					itoa(len(recs)), itoa(failures(recs)))
+			}
+		}
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("all units run mis.Luby on the same gnp(4/n) instance with the same coins, scheduler=parallel workers=%d", e13Workers),
+			"width is the pool the engine actually ran: the adaptive policy clamps to the host's processor count and collapses to the sequential engine at width 1, so it is host-dependent (recorded, not compared)",
+			"wall ms averages RunRecord.ElapsedNS — measurement metadata, excluded from resume/diff stability; the stable columns (rounds/messages/bits/|MIS|) must read identical down every size block")
+		return t
+	},
+}

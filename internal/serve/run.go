@@ -61,11 +61,13 @@ type RunRequest struct {
 	// and (through the derived SimulationKey) the adversary's. The same
 	// request is byte-deterministic across processes.
 	Seed uint64 `json:"seed"`
-	// Scheduler ("" = sequential), Workers, Reshard ("" = adaptive) and
-	// Unpacked select the engine exactly as the CLI flags do.
+	// Scheduler ("" = sequential), Workers, Reshard ("" = adaptive), Place
+	// ("" = auto) and Unpacked select the engine exactly as the CLI flags
+	// do. Workers above N is clamped to N (a shard needs a node).
 	Scheduler string `json:"scheduler,omitempty"`
 	Workers   int    `json:"workers,omitempty"`
 	Reshard   string `json:"reshard,omitempty"`
+	Place     string `json:"place,omitempty"`
 	Unpacked  bool   `json:"unpacked,omitempty"`
 	// Adversary attaches fault budgets; the zero value runs fault-free.
 	Adversary AdversaryKnobs `json:"adversary,omitempty"`
@@ -127,6 +129,17 @@ func (r *RunRequest) Validate() error {
 	if _, err := sim.ParseReshardPolicy(reshardOrDefault(r.Reshard)); err != nil {
 		return err
 	}
+	if _, err := sim.ParsePlacePolicy(r.Place); err != nil {
+		return err
+	}
+	if r.Workers < 0 {
+		return fmt.Errorf("workers must be nonnegative, got %d", r.Workers)
+	}
+	if r.Workers > r.N {
+		// Normalize rather than reject: the engine would clamp anyway, and
+		// the telemetry summary reports the effective width.
+		r.Workers = r.N
+	}
 	if k := r.Adversary; k.Drop < 0 || k.Drop > 1 || k.Delay < 0 || k.Delay > 1 ||
 		k.DelayMax < 0 || k.Crash < 0 || k.Churn < 0 || k.Heal < 0 || k.Stall < 0 {
 		return fmt.Errorf("adversary budgets out of range")
@@ -185,6 +198,16 @@ type TelemetrySummary struct {
 	Modes     map[string]int `json:"modes,omitempty"`
 	Reshards  int            `json:"reshards,omitempty"`
 	Injected  map[string]int `json:"injected,omitempty"`
+	// Effective pool width of the parallel engine: Workers is the
+	// configured pool, PoolWidthMin/Max the smallest and largest active set
+	// any round ran with (the adaptive ledger parks surplus workers through
+	// the shattering tail). Placements counts placement events (initial
+	// pinning plus re-cut reassignments); Pinned reports whether workers
+	// were locked to OS threads.
+	PoolWidthMin int  `json:"poolWidthMin,omitempty"`
+	PoolWidthMax int  `json:"poolWidthMax,omitempty"`
+	Placements   int  `json:"placements,omitempty"`
+	Pinned       bool `json:"pinned,omitempty"`
 }
 
 func summarizeTelemetry(tel *sim.Telemetry) *TelemetrySummary {
@@ -197,6 +220,23 @@ func summarizeTelemetry(tel *sim.Telemetry) *TelemetrySummary {
 		Rounds:    len(tel.Rounds),
 		Modes:     map[string]int{},
 		Reshards:  len(tel.Reshards),
+	}
+	if len(tel.PoolWidthPerRound) > 0 {
+		out.PoolWidthMin, out.PoolWidthMax = tel.PoolWidthPerRound[0], tel.PoolWidthPerRound[0]
+		for _, w := range tel.PoolWidthPerRound {
+			if w < out.PoolWidthMin {
+				out.PoolWidthMin = w
+			}
+			if w > out.PoolWidthMax {
+				out.PoolWidthMax = w
+			}
+		}
+	}
+	out.Placements = len(tel.Places)
+	for _, ev := range tel.Places {
+		if ev.Pinned {
+			out.Pinned = true
+		}
 	}
 	var wallNS, computeNS int64
 	for _, rs := range tel.Rounds {
@@ -269,9 +309,14 @@ func Execute(req RunRequest, exec sim.ExecOptions) (*RunOutcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	placePolicy, err := sim.ParsePlacePolicy(req.Place)
+	if err != nil {
+		return nil, err
+	}
 	exec.Scheduler = sched
 	exec.Workers = req.Workers
 	exec.Reshard = policy
+	exec.Place = placePolicy
 	if req.Unpacked {
 		exec.Unpacked = true
 	}

@@ -78,16 +78,94 @@ type parallelWorker struct {
 	// worker per round cost nothing next to the phase itself, so it is
 	// measured unconditionally.
 	computeNS int64
-	// err is the shard's first error by node index; because shards are
-	// contiguous and ascending, the lowest-indexed erroring worker holds
-	// the same error Run would have returned.
+	// err is the shard's first error by node index. Shards are contiguous,
+	// so the erroring worker with the lowest node range holds the same
+	// error Run would have returned — the coordinator scans its range-
+	// ordered active set, because placement-aware re-cuts permute which
+	// worker owns which range.
 	err error
 }
 
 const (
 	phaseCompute = iota
 	phaseScatter
+	// phaseTouch is the placement phase of pinned runs: each worker walks
+	// its shard's plane windows (and its arena) with page-stride idempotent
+	// writes from its own locked thread, so the backing pages fault in on —
+	// or migrate their cache lines toward — the owning thread's node. Run
+	// once at setup and after every re-cut; never during a round.
+	phaseTouch
 )
+
+// touchPageWords is the touch stride over []uint64 planes (4 KiB pages of
+// 8-byte words); touchPageMsgs the stride over []Message planes (16-byte
+// interface headers).
+const (
+	touchPageWords = 512
+	touchPageMsgs  = 256
+)
+
+// touchWords walks p[lo:hi] at page stride with idempotent load+store pairs.
+// Rewriting a slot's current value is safe at any time — the plane may hold
+// live messages after a re-cut — while still dirtying the page, which is
+// what makes an untouched page fault in on the calling thread (a pure read
+// would merely map the shared zero page) and pulls a touched one's cache
+// lines toward it.
+func touchWords(p []uint64, lo, hi int) {
+	for i := lo; i < hi; i += touchPageWords {
+		v := p[i]
+		p[i] = v
+	}
+	if hi > lo {
+		v := p[hi-1]
+		p[hi-1] = v
+	}
+}
+
+// touchMsgs is touchWords over a Message plane window.
+func touchMsgs(p []Message, lo, hi int64) {
+	for i := lo; i < hi; i += touchPageMsgs {
+		v := p[i]
+		p[i] = v
+	}
+	if hi > lo {
+		v := p[hi-1]
+		p[hi-1] = v
+	}
+}
+
+// touchBytes is the touch walk over one arena buffer's full capacity.
+func touchBytes(p []byte) {
+	for i := 0; i < len(p); i += 1 << 12 {
+		v := p[i]
+		p[i] = v
+	}
+	if len(p) > 0 {
+		v := p[len(p)-1]
+		p[len(p)-1] = v
+	}
+}
+
+// firstTouch is the worker body of phaseTouch: page-stride idempotent writes
+// over everything this worker owns — its inbox window (unpacked plane or
+// packed word window), its private out plane's window, and its arena's
+// retained buffers. Owner-exclusive by the same single-writer invariant the
+// round phases rely on, and barrier-separated from them, so it is race-free
+// and cannot change any Result: every write stores back the value it read.
+func (w *parallelWorker) firstTouch(st *engineStateCore) {
+	if st.packed {
+		touchWords(st.inBits.present, w.wlo, w.whi)
+		touchWords(st.inBits.value, w.wlo, w.whi)
+		if w.out != nil && w.hi > w.lo {
+			plo, phi := int(st.off[w.lo]>>6), int((st.off[w.hi]+63)>>6)
+			touchWords(w.out.present, plo, phi)
+			touchWords(w.out.value, plo, phi)
+		}
+	} else {
+		touchMsgs(st.inbox, st.off[w.lo], st.off[w.hi])
+	}
+	w.arena.touch()
+}
 
 type phaseCmd struct {
 	phase int
@@ -360,6 +438,11 @@ type engineStateCore struct {
 	// round; every mutation happens at the coordinator's round boundary.
 	adv   *advState
 	round func(v, r int) ([]Message, bool)
+	// src is the pool's current *active* worker set — the scatter phase
+	// gathers staged messages from exactly these workers. The coordinator
+	// rewrites it between rounds as the adaptive pool ledger parks and
+	// wakes workers; the phase-command sends publish it to the pool.
+	src []*parallelWorker
 }
 
 // RunParallel executes the network with a sharded worker-pool engine: nodes
@@ -396,6 +479,33 @@ type engineStateCore struct {
 // and ReshardOff pins the initial cut. The policy changes wall clock only,
 // never the Result.
 //
+// On top of *when*, the engine is topology-aware about *where* and *how
+// wide*. Where: under cfg.Place (PlacePin, or PlaceAuto on a multi-CPU
+// host) every worker locks its OS thread for the run and first-touches its
+// shard's plane windows and arena from that thread at setup and after every
+// re-cut, so pages land on the owning thread's NUMA node; and each re-cut
+// assigns the new shard ranges to workers by measured affinity
+// (graph.AssignShardsAffine over the cross-shard staged-message matrix the
+// coordinator accumulates at the staging sites), so workers keep the
+// windows — and the traffic — they already own instead of being dealt
+// ranges by pool order. How wide: under ReshardAdaptive the same debt
+// ledger carries a pool-width model (poolModel): when the live worklist
+// shrinks below the measured per-worker profitability threshold, the
+// coordinator re-cuts to fewer shards and parks the surplus workers on
+// their command channels — the shattering tail stops paying P-way barrier
+// and scatter costs for one worker's work — and wakes them if the workload
+// re-grows. Because per-worker wall clocks cannot see processor
+// oversubscription (time-sliced workers all measure the full round span),
+// the width model is additionally clamped to the host's processor count:
+// under ReshardAdaptive a pool wider than GOMAXPROCS starts at hardware
+// width, and a pool that collapses to width 1 dispatches to the sequential
+// engine outright (a one-wide pool still pays the stage-and-scatter copy
+// the sequential path avoids). Explicit policies (ReshardHalving,
+// ReshardOff) treat the configured worker count as a contract and never
+// resize. All of it changes wall clock only: Results and
+// Telemetry.Injected are byte-identical across place policies × reshard
+// policies × worker counts, as the equivalence suite asserts.
+//
 // Every mutable location has a single writer (the shard owner), phases are
 // separated by barriers, and counters merge over order-independent sums and
 // maxima, so for a given Config and seed the Result — outputs, rounds,
@@ -410,7 +520,7 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 	}
 	defer st.release()
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = numProcs()
 	}
 	if workers > st.n {
 		workers = st.n
@@ -419,17 +529,64 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 	if workers <= 1 {
 		// A one-worker pool is the sequential schedule; skip the barriers,
 		// but keep the telemetry labeled with the engine the caller asked
-		// for (one lane; cfg.Reshard is moot without shards).
+		// for (one lane; cfg.Reshard and cfg.Place are moot without shards).
+		st.initTelemetry(Parallel, 1)
+		return st.runSequential(maxRounds)
+	}
+
+	// Placement: PlaceAuto resolves through the package default and then by
+	// hardware — pinning pays only when the runtime actually has more than
+	// one CPU to place workers on; on a single-CPU host (1-core containers,
+	// CI quota) a locked thread just adds affinity churn.
+	place := cfg.Place
+	if place == PlaceAuto {
+		place = DefaultPlace()
+	}
+	if place == PlaceAuto {
+		if numProcs() >= 2 {
+			place = PlacePin
+		} else {
+			place = PlaceNone
+		}
+	}
+	pin := place == PlacePin
+
+	// The re-shard policy is resolved up front because it also governs the
+	// pool's starting width: under the adaptive policy a pool wider than
+	// the runtime's concurrency limit starts clamped to it — the surplus
+	// workers would only time-slice the same processors, paying barrier and
+	// scatter coordination for zero overlap, and on a staggered workload
+	// the expensive early rounds are exactly the ones a late measurement-
+	// driven park would miss. The explicit policies run the configured
+	// width untouched: their contract is "do what I said".
+	policy := cfg.Reshard
+	if policy == ReshardAuto {
+		policy = DefaultReshard()
+	}
+	width := workers
+	if policy == ReshardAdaptive {
+		if p := numProcs(); p < width {
+			width = p
+		}
+	}
+	if width <= 1 {
+		// The topology clamp collapsed the pool to one worker: a one-wide
+		// pool still pays the stage-and-scatter machinery (every message
+		// copied through a staging list it never needed), so run the
+		// sequential schedule outright, exactly like a configured
+		// one-worker pool.
 		st.initTelemetry(Parallel, 1)
 		return st.runSequential(maxRounds)
 	}
 
 	// Contiguous shards balanced by half-edge count: worker i owns
-	// [bounds[i], bounds[i+1]). A pooled run draws the workers, ownership
-	// tables and scratch from the slab — the structure (arenas, worklist and
-	// staging capacity, private out planes) survives between runs; everything
-	// content-like is rewired below.
-	bounds := st.g.ShardBounds(workers)
+	// [bounds[i], bounds[i+1]) for i < width; workers beyond the starting
+	// width begin parked (empty range, blocked on their command channel)
+	// and cost nothing until the pool-width ledger wakes them. A pooled run
+	// draws the workers, ownership tables and scratch from the slab — the
+	// structure (arenas, worklist and staging capacity, private out planes)
+	// survives between runs; everything content-like is rewired below.
+	bounds := st.g.ShardBounds(width)
 	var shardOf []int32
 	var pool []*parallelWorker
 	if st.slab != nil {
@@ -452,9 +609,14 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 		}
 	}
 	for i, w := range pool {
+		w.lo, w.hi = 0, 0
+		w.wlo, w.whi = 0, 0
+		w.active = w.active[:0]
+		if i >= width {
+			continue
+		}
 		lo, hi := bounds[i], bounds[i+1]
 		w.lo, w.hi = lo, hi
-		w.active = w.active[:0]
 		for v := lo; v < hi; v++ {
 			shardOf[v] = int32(i)
 			w.active = append(w.active, int32(v))
@@ -477,18 +639,39 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 		round:          st.roundFor,
 		packed:         st.packed,
 		inBits:         st.inBits,
+		src:            pool,
 	}
-	// Word-rounded scatter windows: shard s's scatter owns the exclusive
-	// word range [pool[s].wlo, pool[s].whi) of the packed inbox plane
+	// act is the active worker set — the pool indices that own a shard and
+	// run the phases — in ascending pool order; actW the same workers in
+	// ascending *node-range* order. Affinity re-cuts permute which worker
+	// owns which range, and everything that must replay the sequential
+	// engine's node order — counter merges, held-message queues, the live
+	// gathers feeding the adversary and ShardBoundsLiveInto (whose contract
+	// requires an ascending worklist) — walks actW, while phase commands
+	// and telemetry lanes go by pool index. Initially the starting width in
+	// identity order; every mutation happens between rounds and is
+	// published to the workers by the next phase-command sends.
+	act := make([]int, width, workers)
+	actW := make([]*parallelWorker, width, workers)
+	for i := 0; i < width; i++ {
+		act[i] = i
+		actW[i] = pool[i]
+	}
+	core.src = actW
+	// Word-rounded scatter windows: the worker owning range s of the cut
+	// holds the exclusive word range [wlo, whi) of the packed inbox plane
 	// (graph.ShardWordBounds), so adjacent shards whose slot ranges share a
-	// boundary word never write the same word concurrently.
+	// boundary word never write the same word concurrently. assign maps cut
+	// range → owning pool index (identity at setup, affinity-chosen at
+	// re-cuts).
 	var wordBoundsScratch []int
-	applyWordBounds := func(bounds []int) {
+	applyWordBounds := func(bounds []int, assign []int) {
 		wordBoundsScratch = st.g.ShardWordBoundsInto(bounds, wordBoundsScratch)
-		for s, w := range pool {
+		for s := 0; s+1 < len(wordBoundsScratch); s++ {
+			w := pool[assign[s]]
 			w.wlo, w.whi = wordBoundsScratch[s], wordBoundsScratch[s+1]
 			for wd := w.wlo; wd < w.whi; wd++ {
-				core.wordShardOf[wd] = int32(s)
+				core.wordShardOf[wd] = int32(assign[s])
 			}
 		}
 	}
@@ -498,7 +681,7 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 		} else {
 			core.wordShardOf = make([]int32, st.inBits.words())
 		}
-		applyWordBounds(bounds)
+		applyWordBounds(bounds, act)
 	}
 
 	cmds := make([]chan phaseCmd, workers)
@@ -510,27 +693,38 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 	for i, w := range pool {
 		go func(i int, w *parallelWorker) {
 			defer lifetime.Done()
+			if pin {
+				// Pinned run: the goroutine keeps one OS thread for its
+				// lifetime, so the pages its phaseTouch passes fault in stay
+				// with the thread that owns the windows.
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
 			for c := range cmds[i] {
 				switch c.phase {
 				case phaseCompute:
 					w.compute(core, c.round)
 				case phaseScatter:
 					if core.packed {
-						w.scatterPacked(core, i, pool)
+						w.scatterPacked(core, i, core.src)
 					} else {
-						w.scatter(core, i, pool)
+						w.scatter(core, i, core.src)
 					}
+				case phaseTouch:
+					w.firstTouch(core)
 				}
 				barrier.Done()
 			}
 		}(i, w)
 	}
-	// runPhase broadcasts one phase and blocks until every worker finishes
-	// it; the WaitGroup plus the command-channel sends give the scatter
-	// phase a happens-before view of every worker's staged outboxes.
+	// runPhase broadcasts one phase to the active workers and blocks until
+	// every one finishes it; the WaitGroup plus the command-channel sends
+	// give the scatter phase a happens-before view of every worker's staged
+	// outboxes (and of every coordinator mutation since the last barrier).
+	// Parked workers stay blocked on their channel, costing nothing.
 	runPhase := func(c phaseCmd) {
-		barrier.Add(workers)
-		for i := range cmds {
+		barrier.Add(len(act))
+		for _, i := range act {
 			cmds[i] <- c
 		}
 		barrier.Wait()
@@ -542,18 +736,11 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 		lifetime.Wait()
 	}
 
-	// reshard re-cuts the shards over the live worklist: the initial
-	// whole-graph cut goes stale as nodes halt — one shard's survivors can
-	// dominate every barrier while the other workers idle — so the
-	// coordinator re-balances by *surviving* half-edge spans
-	// (graph.ShardBoundsLiveInto, fed the scratch from the previous cut so
-	// a steady cadence allocates nothing). It runs between rounds, while
-	// every worker is parked on its command channel, so moving worklist
-	// entries, node ownership (shardOf), arena wiring and recorded inbox
-	// slots is plain single-threaded code; the next phase commands publish
-	// it to the pool. Arenas stay with their workers and every arena still
-	// rotates once per round, so payloads carved before the cut remain live
-	// exactly as long as the retention rule promises.
+	// Coordinator scratch for re-cuts: the live-worklist gather and the
+	// surviving-slot collection (warm from the slab on pooled runs, handed
+	// back before release scrubs), plus the bounds/prefix scratch that
+	// ShardBoundsLiveInto recycles so a steady cut cadence allocates
+	// nothing.
 	var liveScratch, slotScratch []int32
 	if s := st.slab; s != nil {
 		// The coordinator's big gather buffers come warm from the slab; hand
@@ -565,15 +752,51 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 	}
 	var boundsScratch []int
 	var prefixScratch []int64
-	reshard := func(live []int32) {
+	// Cross-shard staging matrices, flat workers×workers, src-major:
+	// crossTel accumulates over the whole run (Telemetry.CrossShardStaged),
+	// crossCut since the last cut (the affinity input of the next one).
+	// Counted at the staging lists the scatter phase just drained — O(k²)
+	// int adds per round. Skipped entirely under ReshardOff with telemetry
+	// off, where nobody would read them.
+	st.initTelemetry(Parallel, workers)
+	var crossTel, crossCut []int64
+	if st.tel != nil || policy != ReshardOff {
+		crossTel = make([]int64, workers*workers)
+		crossCut = make([]int64, workers*workers)
+	}
+	oldLo := make([]int, workers)
+	oldHi := make([]int, workers)
+	var assignScratch []int
+	// reshard re-cuts target contiguous shards over the live worklist and
+	// assigns them to workers by measured affinity. target may differ from
+	// the current width: the pool-width ledger shrinks the cut through the
+	// shattering tail (surplus workers park on their command channels) and
+	// re-grows it if the workload recovers. It runs between rounds, while
+	// every worker is parked, so moving worklist entries, node ownership
+	// (shardOf), arena wiring and recorded inbox slots is plain
+	// single-threaded code; the next phase commands publish it to the pool.
+	// Arenas stay with their workers and every active arena still rotates
+	// once per round, so payloads carved before the cut remain live exactly
+	// as long as the retention rule promises (a parked worker's arena is
+	// simply frozen — its last payloads age out before it can be woken).
+	// It returns how many workers' ranges changed, for the placement event.
+	reshard := func(live []int32, target int) int {
 		var bounds []int
-		bounds, prefixScratch = st.g.ShardBoundsLiveInto(workers, live, boundsScratch, prefixScratch)
+		bounds, prefixScratch = st.g.ShardBoundsLiveInto(target, live, boundsScratch, prefixScratch)
 		boundsScratch = bounds
+		// Choose owners: greedy max-affinity over window overlap plus the
+		// staged-traffic matrix accumulated since the last cut, so workers
+		// keep the windows whose pages and traffic they already hold.
+		for i, w := range pool {
+			oldLo[i], oldHi[i] = w.lo, w.hi
+		}
+		assignScratch = st.g.AssignShardsAffine(bounds, oldLo, oldHi, crossCut, assignScratch)
+		assign := assignScratch
 		// Collect every recorded inbox slot before the windows move; a
 		// worker whose last scatter was dense has no slot list, so scan its
-		// (old) window for survivors.
+		// (old) window for survivors. Parked workers own no window.
 		slots := slotScratch[:0]
-		for _, w := range pool {
+		for _, w := range actW {
 			if w.denseInbox {
 				if st.packed {
 					// A dense packed scatter left no slot list either; scan
@@ -600,12 +823,23 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 			w.inboxSlots = w.inboxSlots[:0]
 		}
 		slotScratch = slots
-		// Hand out the new node ranges, worklist segments and arenas (and,
-		// packed, the live nodes' out-plane wiring — a migrated node must
-		// write its bits where its new owner harvests).
+		// Park everyone, then hand out the new node ranges, worklist
+		// segments and arenas (and, packed, the live nodes' out-plane
+		// wiring — a migrated node must write its bits where its new owner
+		// harvests) to the assigned owners.
+		for _, w := range pool {
+			w.lo, w.hi = 0, 0
+			w.wlo, w.whi = 0, 0
+			w.active = w.active[:0]
+		}
 		li := 0
-		for s, w := range pool {
+		moved := 0
+		for s := 0; s < target; s++ {
+			w := pool[assign[s]]
 			lo, hi := bounds[s], bounds[s+1]
+			if oldLo[assign[s]] != lo || oldHi[assign[s]] != hi {
+				moved++
+			}
 			w.lo, w.hi = lo, hi
 			seg := w.active[:0]
 			for ; li < len(live) && int(live[li]) < hi; li++ {
@@ -613,7 +847,7 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 			}
 			w.active = seg
 			for v := lo; v < hi; v++ {
-				shardOf[v] = int32(s)
+				shardOf[v] = int32(assign[s])
 			}
 			for _, v := range w.active {
 				st.ctxs[v].arena = w.arena
@@ -623,10 +857,10 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 			}
 		}
 		if st.packed {
-			applyWordBounds(bounds)
+			applyWordBounds(bounds, assign)
 		}
 		// Re-own the surviving inbox slots: on Message planes slot i belongs
-		// to node adj[rev[i]]'s shard; on packed planes to whichever shard
+		// to node adj[rev[i]]'s owner; on packed planes to whichever worker
 		// owns the slot's word (the two differ only on word-rounded boundary
 		// slots).
 		for _, i := range slots {
@@ -638,8 +872,24 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 			}
 			owner.inboxSlots = append(owner.inboxSlots, i)
 		}
+		// Rebuild the active sets and publish them: act by pool index (phase
+		// commands), actW by node range — range s of the cut belongs to
+		// pool[assign[s]] and ranges ascend with s, so walking the
+		// assignment yields the sequential engine's node order.
+		act = act[:0]
+		for i, w := range pool {
+			if w.hi > w.lo {
+				act = append(act, i)
+			}
+		}
+		actW = actW[:0]
+		for s := 0; s < target; s++ {
+			actW = append(actW, pool[assign[s]])
+		}
+		core.src = actW
+		clear(crossCut)
+		return moved
 	}
-	st.initTelemetry(Parallel, workers)
 	var computeScratch []int64
 	var stagedScratch []int
 	var modeScratch []DeliveryMode
@@ -649,42 +899,84 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 		modeScratch = make([]DeliveryMode, workers)
 	}
 
+	// First-touch at setup, with the slab's placement memory: workers take
+	// shards in pool order here, so a warm slab whose last pinned run
+	// started from identical bounds already has every window's pages where
+	// this run wants them, and the pass is skipped.
+	if pin {
+		touched := true
+		if s := st.slab; s != nil {
+			if s.placePinned && equalBounds(s.placeBounds, bounds) {
+				touched = false
+			}
+			s.placePinned = true
+			s.placeBounds = append(s.placeBounds[:0], bounds...)
+		}
+		if touched {
+			runPhase(phaseCmd{phase: phaseTouch})
+		}
+		st.tel.recordPlace(-1, width, true, width, touched)
+	} else {
+		st.tel.recordPlace(-1, width, false, width, false)
+	}
+
 	// Re-shard policy state (see policy.go): the halving trigger tracks
-	// the live size at the last cut, the cost model the imbalance debt.
+	// the live size at the last cut, the cost model the imbalance debt, and
+	// — adaptive only — the pool-width ledger the per-worker profitability.
 	// ReshardAuto (the zero value) defers to the package default
 	// (SetDefaultReshard), adaptive out of the box; an explicit policy is
 	// never overridden.
-	policy := cfg.Reshard
-	if policy == ReshardAuto {
-		policy = DefaultReshard()
-	}
 	lastReshard := st.n
-	model := newReshardModel(workers, st.n)
+	model := newReshardModel(width, st.n)
+	pm := newPoolModel(workers)
+	if width != workers {
+		pm.resized(width)
+	}
 
 	for r := 0; st.running > 0; r++ {
 		if r >= maxRounds {
 			stop()
 			return nil, &StuckError{MaxRounds: maxRounds, Running: st.running}
 		}
-		var roundStart time.Time
-		if st.tel != nil {
-			roundStart = time.Now()
-		}
+		// Measured unconditionally: the pool-width ledger needs the round
+		// wall time even when telemetry is off.
+		roundStart := time.Now()
 		runPhase(phaseCmd{phase: phaseCompute, round: r})
-		// Shards ascend by node index, so the first erroring worker holds
+		// actW ascends by node range, so the first erroring worker holds
 		// the error of the lowest-indexed erroring node — the same error
-		// the sequential scheduler reports. Like Run, surface it before
-		// any of the round's deliveries are tallied.
-		for _, w := range pool {
+		// the sequential scheduler reports (pool order would not do: an
+		// affinity re-cut permutes which worker owns which range). Like
+		// Run, surface it before any of the round's deliveries are tallied.
+		for _, w := range actW {
 			if w.err != nil {
 				stop()
 				return nil, w.err
 			}
 		}
 		runPhase(phaseCmd{phase: phaseScatter, round: r})
+		// Cross-shard traffic: the staging lists the scatter just drained
+		// still hold their lengths until the next compute truncates them.
+		if crossTel != nil {
+			for _, wi := range act {
+				w := pool[wi]
+				if st.packed {
+					for s := range w.pout {
+						c := int64(len(w.pout[s]))
+						crossTel[wi*workers+s] += c
+						crossCut[wi*workers+s] += c
+					}
+				} else {
+					for s := range w.outbox {
+						c := int64(len(w.outbox[s]))
+						crossTel[wi*workers+s] += c
+						crossCut[wi*workers+s] += c
+					}
+				}
+			}
+		}
 		activeN, liveN := 0, 0
 		var maxComputeNS, sumComputeNS int64
-		for _, w := range pool {
+		for _, w := range actW {
 			activeN += w.activeN
 			liveN += len(w.active)
 			st.running -= w.halted
@@ -704,22 +996,35 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 		st.activeTrace = append(st.activeTrace, activeN)
 		st.rounds++
 		if st.tel != nil {
-			for i, w := range pool {
-				computeScratch[i] = w.computeNS
+			// Lanes always span the configured pool; a parked worker's lane
+			// reads zero (its stale counters describe an older round).
+			for i := range computeScratch {
+				computeScratch[i] = 0
+				stagedScratch[i] = 0
+				if st.packed {
+					modeScratch[i] = DeliverPacked
+				} else {
+					modeScratch[i] = DeliverSparse
+				}
+			}
+			for _, wi := range act {
+				w := pool[wi]
+				computeScratch[wi] = w.computeNS
 				// The staged lane counts what the shard's programs emitted,
 				// including what the adversary then dropped, cut or held.
-				stagedScratch[i] = int(w.msgs) + w.drops + w.cuts + w.delays
+				stagedScratch[wi] = int(w.msgs) + w.drops + w.cuts + w.delays
 				switch {
 				case st.packed:
-					modeScratch[i] = DeliverPacked
+					modeScratch[wi] = DeliverPacked
 				case w.denseInbox:
-					modeScratch[i] = DeliverDense
+					modeScratch[wi] = DeliverDense
 				default:
-					modeScratch[i] = DeliverSparse
+					modeScratch[wi] = DeliverSparse
 				}
 			}
 			st.tel.recordRound(time.Since(roundStart).Nanoseconds(), computeScratch, stagedScratch, modeScratch)
 		}
+		st.tel.recordWidth(len(act))
 		if st.adv != nil {
 			// Round boundary: all workers are parked on their command
 			// channels, so the adversary's inbox writes, crash-stops and
@@ -728,7 +1033,7 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 			var advLive []int32
 			if st.adv.cfg.CrashPerRound > 0 || st.adv.cfg.StallPerRound > 0 {
 				lv := liveScratch[:0]
-				for _, w := range pool {
+				for _, w := range actW {
 					lv = append(lv, w.active...)
 				}
 				liveScratch = lv
@@ -756,7 +1061,7 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 				st.maxBits = maxBits
 			}
 			if crashed > 0 {
-				for _, w := range pool {
+				for _, w := range actW {
 					liveSeg := w.active[:0]
 					for _, v := range w.active {
 						if !st.done[v] {
@@ -768,39 +1073,78 @@ func RunParallel[T any](cfg Config, factory func(v int) NodeProgram[T], workers 
 				liveN -= crashed
 			}
 		}
-		// Re-shard decision. Below one live node per worker the tail is
-		// trivial and no policy cuts again; otherwise the halving rule
-		// compares the live size against the last cut, while the cost
-		// model charges this round's barrier imbalance — the idle worker
-		// time implied by the compute-phase spread — to a debt that must
-		// out-weigh the (measured) price of a cut before one is taken. A
-		// cut also requires the worklist to have shrunk since the last
-		// one: re-cutting an unchanged worklist would reproduce the same
-		// bounds and pay the price for nothing.
-		if policy != ReshardOff && liveN >= workers {
+		// Re-shard decision: when, and at what width. The halving rule
+		// compares the live size against the last cut; the cost model
+		// charges this round's barrier imbalance — the idle worker time
+		// implied by the compute-phase spread — to a debt that must
+		// out-weigh the (measured) price of a cut before one is taken, and
+		// the pool-width ledger asks whether the measured per-node compute
+		// can still keep the current width profitably busy. An imbalance
+		// cut also requires the worklist to have shrunk since the last one
+		// — re-cutting an unchanged worklist would reproduce the same
+		// bounds and pay the price for nothing — while a width change is
+		// worth a cut on its own.
+		if policy != ReshardOff && liveN > 0 {
+			cur := len(act)
+			target := cur
 			doCut := false
 			if policy == ReshardHalving {
-				doCut = liveN*2 <= lastReshard
+				doCut = liveN >= cur && liveN*2 <= lastReshard
 			} else {
 				model.charge(maxComputeNS, sumComputeNS)
-				doCut = model.shouldCut(liveN)
+				pm.charge(time.Since(roundStart).Nanoseconds(), maxComputeNS, sumComputeNS, activeN)
+				if t := pm.desiredWidth(liveN); t != cur {
+					if t > liveN {
+						t = liveN
+					}
+					target = t
+					doCut = target != cur
+				}
+				if !doCut {
+					doCut = liveN >= cur && model.shouldCut(liveN)
+				}
 			}
 			if doCut {
 				live := liveScratch[:0]
-				for _, w := range pool {
+				for _, w := range actW {
 					live = append(live, w.active...)
 				}
 				liveScratch = live
 				cutStart := time.Now()
-				reshard(live)
+				moved := reshard(live, target)
 				cost := time.Since(cutStart).Nanoseconds()
+				if pin {
+					// Re-place: pages that have not faulted yet will land
+					// with their new owners; already-placed ones at least
+					// pull their cache lines over.
+					runPhase(phaseCmd{phase: phaseTouch})
+				}
 				st.tel.recordReshard(r, liveN, cost, model.wasteNS)
+				st.tel.recordPlace(r, target, pin, moved, pin)
 				model.cutDone(liveN, cost)
+				model.workers = target
+				pm.resized(target)
 				lastReshard = liveN
 			}
 		}
 		st.progress()
 	}
 	stop()
+	if st.tel != nil {
+		st.tel.setCrossShard(workers, crossTel)
+	}
 	return st.result(), nil
+}
+
+// equalBounds reports whether two shard cuts are identical.
+func equalBounds(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

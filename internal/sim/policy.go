@@ -1,6 +1,16 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
+
+// numProcs reports how many workers the runtime can actually execute
+// concurrently. It is a variable so tests can simulate wider (or narrower)
+// hardware than the host: the adaptive pool-width machinery and the
+// PlaceAuto hardware resolution both read it, and on a single-CPU CI runner
+// the real value would collapse every multi-worker code path to width 1.
+var numProcs = func() int { return runtime.GOMAXPROCS(0) }
 
 // ReshardPolicy selects when RunParallel re-cuts its shards over the live
 // worklist. Re-sharding is purely a performance decision: the Result —
@@ -21,7 +31,12 @@ const (
 	// and re-cuts only once that debt exceeds a multiple of the measured
 	// price of the previous re-cut. A balanced run never pays for a cut it
 	// does not need; a skewed shattering tail still gets re-balanced as
-	// soon as the imbalance has cost more than re-balancing would.
+	// soon as the imbalance has cost more than re-balancing would. The
+	// same ledger adapts the pool's width: surplus workers park when the
+	// live set shrinks below per-worker profitability, and the pool is
+	// clamped to the host's processor count (numProcs) up front — a pool
+	// that collapses to width 1 dispatches to the sequential engine. Like
+	// re-cut timing this moves wall clock only; Results stay byte-identical.
 	ReshardAdaptive
 	// ReshardHalving is the fixed legacy rule: re-cut every time the live
 	// worklist has halved since the last cut, regardless of how balanced
@@ -61,6 +76,66 @@ func ParseReshardPolicy(name string) (ReshardPolicy, error) {
 		return ReshardOff, nil
 	default:
 		return ReshardAuto, fmt.Errorf("sim: unknown re-shard policy %q (want adaptive, halving or off)", name)
+	}
+}
+
+// PlacePolicy selects whether RunParallel pins its pool workers to OS
+// threads and first-touches each worker's shard windows (inbox/next message
+// planes, packed bit planes) from the owning goroutine. Like ReshardPolicy,
+// placement is purely a performance decision: the Result — outputs, rounds,
+// active trajectory, every counter, and Telemetry.Injected under an
+// adversary — is byte-identical under every policy (the equivalence suite
+// asserts this), so policies exist to be A/B-benchmarked, not to change
+// behavior. Placement changes wall clock only.
+type PlacePolicy uint8
+
+const (
+	// PlaceAuto defers to the package-wide default (SetDefaultPlace); out
+	// of the box that resolves by hardware at run time — PlacePin when
+	// runtime.GOMAXPROCS(0) >= 2, PlaceNone on single-CPU hosts where
+	// pinning buys nothing and costs thread-affinity churn. It is the zero
+	// value, so a Config that never mentions placement keeps sensible
+	// behavior everywhere.
+	PlaceAuto PlacePolicy = iota
+	// PlacePin locks every pool worker to its OS thread for the run
+	// (runtime.LockOSThread) and first-touches the worker's shard windows
+	// from that goroutine at acquisition and after every re-cut, so the
+	// backing pages fault in on — and stay local to — the owning thread's
+	// NUMA node. Best-effort: Go offers no page-migration API, so re-cut
+	// touches only help pages that have not faulted yet plus the caches.
+	PlacePin
+	// PlaceNone disables pinning and first-touch passes entirely. The
+	// right choice in containers and CI runners whose CPU quota is below
+	// the pool width: a locked thread that loses its CPU slice stalls the
+	// whole barrier until the scheduler hands the thread back.
+	PlaceNone
+)
+
+// String returns the flag-friendly name of the policy.
+func (p PlacePolicy) String() string {
+	switch p {
+	case PlaceAuto:
+		return "auto"
+	case PlacePin:
+		return "pin"
+	case PlaceNone:
+		return "none"
+	default:
+		return fmt.Sprintf("PlacePolicy(%d)", int(p))
+	}
+}
+
+// ParsePlacePolicy parses a -place flag value.
+func ParsePlacePolicy(name string) (PlacePolicy, error) {
+	switch name {
+	case "", "auto":
+		return PlaceAuto, nil
+	case "pin":
+		return PlacePin, nil
+	case "none", "off":
+		return PlaceNone, nil
+	default:
+		return PlaceAuto, fmt.Errorf("sim: unknown placement policy %q (want auto, pin or none)", name)
 	}
 }
 
@@ -117,4 +192,154 @@ func (m *reshardModel) cutDone(liveN int, costNS int64) {
 	}
 	m.lastCutLive = liveN
 	m.wasteNS = 0
+}
+
+// parkPayoff is the pool-width ledger's pay-off factor: a worker stays in
+// the pool only while the compute it would absorb is at least parkPayoff ×
+// the per-worker coordination overhead it costs, so the pool shrinks through
+// the shattering tail but never parks a worker that is still pulling
+// meaningful weight.
+const parkPayoff = 2
+
+// widthHold is the hysteresis depth of the pool-width ledger: the desired
+// width must disagree with the current width for widthHold consecutive
+// rounds before the pool is actually resized. One noisy round — a GC pause,
+// a scheduler hiccup — never triggers a re-cut on its own.
+const widthHold = 2
+
+// poolModel is the adaptive pool-width ledger, the RunParallel counterpart
+// of reshardModel: the same debt bookkeeping, but deciding how *many*
+// workers the next rounds should pay for rather than when to re-balance
+// them. Like reshardModel it is kept free of clocks and engine state so its
+// arithmetic is unit-testable with synthetic inputs. Each round the
+// coordinator charges it the measured round wall time, the per-worker
+// compute spread and the live population; desiredWidth then answers how
+// many workers the measured per-node compute cost can keep profitably busy
+// given the measured per-worker coordination overhead (barrier wake, scatter
+// merge, coordinator bookkeeping).
+type poolModel struct {
+	maxWorkers int
+	width      int
+	// procs is the runtime's concurrency limit at model creation
+	// (numProcs). Per-worker compute times are goroutine wall clocks, so on
+	// an over-subscribed host the interleaved workers each measure close to
+	// the full round span and the overhead EMA reads near zero — the
+	// measurements cannot distinguish real parallelism from time-slicing.
+	// The processor count can: no width beyond it ever pays, so rawDesired
+	// clamps there.
+	procs int
+	// overheadNS is an EMA of the *per-worker* coordination overhead: the
+	// round wall time minus the slowest worker's compute time — everything
+	// the round spent on barriers, scatter and merging rather than compute
+	// — divided by the pool width that paid it. It is only charged while
+	// the pool is at width >= 2: a one-worker round has no barrier spread
+	// to measure, and letting its near-zero overhead decay the EMA would
+	// talk the model into re-growing a pool it just (correctly) parked —
+	// the remembered multi-worker overhead is exactly the price a re-grown
+	// pool would pay again.
+	overheadNS int64
+	// perNodeNS is an EMA of the compute cost of one active node: the
+	// pool's summed compute time over the round's active population.
+	perNodeNS int64
+	// disagree counts consecutive rounds in which desiredWidth differed
+	// from width; a resize waits for widthHold of them.
+	disagree int
+	// lastDesired is the width the previous round asked for, so the
+	// hysteresis counter only accumulates while the request is stable.
+	lastDesired int
+	samples     int
+}
+
+func newPoolModel(workers int) *poolModel {
+	return &poolModel{maxWorkers: workers, width: workers, lastDesired: workers, procs: numProcs()}
+}
+
+// ema folds one sample into a quarter-weight exponential moving average.
+func ema(avg, sample int64) int64 {
+	if avg == 0 {
+		return sample
+	}
+	return avg + (sample-avg)/4
+}
+
+// charge folds one round's measurements into the ledger: wallNS is the
+// coordinator-measured round wall time, maxNS the slowest worker's compute
+// time, sumNS the pool's summed compute time, activeN the round's active
+// population.
+func (m *poolModel) charge(wallNS, maxNS, sumNS int64, activeN int) {
+	if m.width >= 2 {
+		if over := wallNS - maxNS; over > 0 {
+			m.overheadNS = ema(m.overheadNS, over/int64(m.width))
+		}
+	}
+	if activeN > 0 && sumNS > 0 {
+		per := sumNS / int64(activeN)
+		if per < 1 {
+			per = 1
+		}
+		m.perNodeNS = ema(m.perNodeNS, per)
+	}
+	m.samples++
+}
+
+// desiredWidth returns how many workers the ledger wants for a live
+// worklist of liveN nodes, with hysteresis already applied: it returns the
+// current width until a different width has been profitable for widthHold
+// consecutive rounds. The core rule: each worker must absorb at least
+// parkPayoff × the measured per-worker coordination overhead in compute, so
+// width ≈ liveN·perNodeNS / (parkPayoff·overheadNS), clamped to
+// [1, maxWorkers] and to liveN (a shard needs at least one live node).
+func (m *poolModel) desiredWidth(liveN int) int {
+	if m.samples < 2 {
+		return m.width // no measurements yet: keep the configured width
+	}
+	d := m.rawDesired(liveN)
+	if d == m.width {
+		m.disagree = 0
+		m.lastDesired = d
+		return m.width
+	}
+	if d == m.lastDesired {
+		m.disagree++
+	} else {
+		m.disagree = 1
+	}
+	m.lastDesired = d
+	if m.disagree < widthHold {
+		return m.width
+	}
+	return d
+}
+
+// rawDesired is the hysteresis-free profitability computation, clamped to
+// [1, min(maxWorkers, procs, liveN)].
+func (m *poolModel) rawDesired(liveN int) int {
+	if liveN < 1 {
+		return 1
+	}
+	pwo := m.overheadNS
+	if pwo < 1 {
+		pwo = 1
+	}
+	d := int(int64(liveN) * m.perNodeNS / (parkPayoff * pwo))
+	if d < 1 {
+		d = 1
+	}
+	if d > m.maxWorkers {
+		d = m.maxWorkers
+	}
+	if d > m.procs {
+		d = m.procs
+	}
+	if d > liveN {
+		d = liveN
+	}
+	return d
+}
+
+// resized records a completed pool resize.
+func (m *poolModel) resized(width int) {
+	m.width = width
+	m.disagree = 0
+	m.lastDesired = width
 }

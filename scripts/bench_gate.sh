@@ -20,7 +20,7 @@
 # Usage: scripts/bench_gate.sh [--baseline baseline.json] [--benchtime 1x]
 #        scripts/bench_gate.sh [baseline.json] [benchtime]
 #   --baseline baseline.json  committed BENCH_PR*.json to gate against
-#                             (default BENCH_PR7.json — bump this when a PR
+#                             (default BENCH_PR9.json — bump this when a PR
 #                             records a new baseline)
 #   --benchtime 1x            go test -benchtime value; each size runs
 #                             BENCH_COUNT times and the gate compares the
@@ -32,7 +32,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 . scripts/bench_lib.sh
 
-BASELINE="BENCH_PR7.json"
+BASELINE="BENCH_PR9.json"
 BENCHTIME="1x"
 positional=0
 while [ $# -gt 0 ]; do
@@ -74,8 +74,10 @@ raw=$(run_benchmarks_isolated "$BENCHTIME" \
 	'BenchmarkRun$/^n=65536$' 'BenchmarkRun$/^n=1048576$' \
 	'BenchmarkRunStaggered$/^n=65536$' 'BenchmarkRunStaggered$/^n=1048576$' \
 	'BenchmarkRunParallel$/^n=65536$' 'BenchmarkRunParallel$/^n=1048576$' \
+	'BenchmarkRunParallelStaggered$/^n=65536$' 'BenchmarkRunParallelStaggered$/^n=1048576$' \
 	'BenchmarkLuby$/^n=65536$' 'BenchmarkLuby$/^n=1048576$' \
-	'BenchmarkLubyPacked$/^n=65536$' 'BenchmarkLubyPacked$/^n=1048576$' | min_over_runs)
+	'BenchmarkLubyPacked$/^n=65536$' 'BenchmarkLubyPacked$/^n=1048576$' \
+	'BenchmarkRunParallelLubyPacked$/^n=65536$' 'BenchmarkRunParallelLubyPacked$/^n=1048576$' | min_over_runs)
 
 printf '%s\n' "$raw" |
 	bench_to_json "bench-gate run vs $BASELINE" "$BENCHTIME" "$(baselines_from_json "$BASELINE")" > "$OUT"

@@ -13,12 +13,12 @@
 #      stable fields, ignoring wall-clock metadata).
 #
 # Usage: scripts/experiments_smoke.sh [outdir]
-# Env:   EXPERIMENTS_SMOKE_SUBSET  comma-separated IDs (default E3,E5,E11,E12)
+# Env:   EXPERIMENTS_SMOKE_SUBSET  comma-separated IDs (default E3,E5,E11,E12,E13)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-experiments-smoke-out}"
-SUBSET="${EXPERIMENTS_SMOKE_SUBSET:-E3,E5,E11,E12}"
+SUBSET="${EXPERIMENTS_SMOKE_SUBSET:-E3,E5,E11,E12,E13}"
 rm -rf "$OUT"
 mkdir -p "$OUT"
 
