@@ -14,6 +14,7 @@ package randlocal
 import (
 	"fmt"
 	"math/bits"
+	"path/filepath"
 	"runtime"
 	"testing"
 )
@@ -554,7 +555,10 @@ func BenchmarkRunParallelStaggeredPolicy(b *testing.B) {
 // ns/op delta isolates the message-plane representation.
 func lubyBitBench(b *testing.B, n int, unpacked bool) {
 	skipHeavy(b, n)
-	g := benchEngineGraph(n)
+	lubyBitBenchGraph(b, n, benchEngineGraph(n), unpacked)
+}
+
+func lubyBitBenchGraph(b *testing.B, n int, g *Graph, unpacked bool) {
 	cfg := SimConfig{Graph: g, MaxMessageBits: CongestBits(n), Unpacked: unpacked}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -611,6 +615,39 @@ func BenchmarkRunParallelLubyPacked(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// benchFileGraph round-trips benchEngineGraph(n) through the on-disk CSR
+// format and reopens it as the read-only mmap-backed graph — what a
+// `locsim -graphfile` run of the same size executes on. The write and map
+// happen once, outside the timed loop: the rows measure warm execution over
+// the mapping, not file construction.
+func benchFileGraph(b *testing.B, n int) *Graph {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "bench.csr")
+	if err := WriteCSRFile(benchEngineGraph(n), path); err != nil {
+		b.Fatal(err)
+	}
+	g, closer, err := OpenCSRFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { closer.Close() })
+	return g
+}
+
+// BenchmarkLubyPackedFile is BenchmarkLubyPacked with the graph served from
+// the mmap-backed on-disk CSR instead of RAM — same program, same seeds,
+// byte-identical Results. The ns/op delta against the same-run sequential
+// BenchmarkLubyPacked row is the warm out-of-core overhead; BENCH_PR10.json
+// records it and scripts/bench_pr10.sh holds the n=2^20 row to <= 10%.
+func BenchmarkLubyPackedFile(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 20} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			skipHeavy(b, n)
+			lubyBitBenchGraph(b, n, benchFileGraph(b, n), false)
+		})
 	}
 }
 

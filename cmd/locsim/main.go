@@ -16,6 +16,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"randlocal/internal/check"
@@ -46,6 +47,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("locsim", flag.ContinueOnError)
 	graphKind := fs.String("graph", "gnp", "graph family: gnp | ring | grid | tree | cliques | regular")
+	graphFile := fs.String("graphfile", "", "run on a prebuilt on-disk CSR graph (cmd/csrgen) instead of generating one; overrides -graph/-n/-p/-deg")
 	n := fs.Int("n", 512, "number of nodes (grid rounds to a square)")
 	p := fs.Float64("p", 0.0, "edge probability for gnp (0 = 4/n)")
 	deg := fs.Int("deg", 3, "degree for regular graphs")
@@ -115,10 +117,22 @@ func run(args []string) error {
 
 	// Graph construction is shared with the locsimd daemon (serve.BuildGraph)
 	// so a CLI run and a daemon-submitted request of the same parameters
-	// solve the same instance.
-	g, err := serve.BuildGraph(*graphKind, *n, *p, *deg, *seed)
-	if err != nil {
-		return err
+	// solve the same instance. -graphfile swaps the generator for a
+	// read-only mapping of a prebuilt CSR file: same *graph.Graph, same
+	// deterministic outcomes, graph size bounded by disk instead of RAM.
+	var g *graph.Graph
+	if *graphFile != "" {
+		var closer io.Closer
+		g, closer, err = graph.OpenCSRFile(*graphFile)
+		if err != nil {
+			return err
+		}
+		defer closer.Close()
+	} else {
+		g, err = serve.BuildGraph(*graphKind, *n, *p, *deg, *seed)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("graph: %v diameter=%d\n", g, graph.Diameter(g))
 	if sched == sim.Parallel && *workers > g.N() {

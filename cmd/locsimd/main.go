@@ -41,6 +41,7 @@ func main() {
 	backlog := flag.Int("backlog", 16, "accepted runs that may queue beyond the workers before 503")
 	pool := flag.Bool("pool", true, "keep engine buffers warm across runs (sim.EnginePool)")
 	place := flag.String("place", "auto", "default worker placement for parallel runs that leave it unset: auto | pin | none (use none in containers whose CPU quota is below the pool width)")
+	graphDir := flag.String("graphdir", "", "directory of prebuilt CSR graph files (cmd/csrgen) that graphFile requests may name; empty rejects file-backed runs")
 	flag.Parse()
 	log.SetFlags(0)
 
@@ -50,17 +51,17 @@ func main() {
 	}
 	sim.SetDefaultPlace(placePolicy)
 
-	if err := run(*addr, *jobs, *backlog, *pool); err != nil {
+	if err := run(*addr, *jobs, *backlog, *pool, *graphDir); err != nil {
 		log.Fatalf("locsimd: %v", err)
 	}
 }
 
-func run(addr string, jobs, backlog int, pool bool) error {
+func run(addr string, jobs, backlog int, pool bool, graphDir string) error {
 	var engines *sim.EnginePool
 	if pool {
 		engines = sim.NewEnginePool()
 	}
-	srv := serve.NewServer(serve.Options{Jobs: jobs, Backlog: backlog, Pool: engines})
+	srv := serve.NewServer(serve.Options{Jobs: jobs, Backlog: backlog, Pool: engines, GraphDir: graphDir})
 	hs := &http.Server{Handler: srv.Handler()}
 
 	// Bind before announcing, so "listening on" always names a live port

@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"strings"
 
 	"randlocal/internal/check"
 	"randlocal/internal/decomp"
 	"randlocal/internal/graph"
+	"randlocal/internal/graph/csrfile"
 	"randlocal/internal/mis"
 	"randlocal/internal/prng"
 	"randlocal/internal/randomness"
@@ -14,18 +16,27 @@ import (
 
 // E11 is the engine-scale sweep the zero-alloc work unlocked: the paper's
 // headline claims are asymptotic, so the round/bit columns are recorded as
-// *curves* over n up to 2^22 — together with the per-round live-fringe
+// *curves* over n up to 2^23 — together with the per-round live-fringe
 // trajectory (Result.ActivePerRound), whose geometric collapse is the
 // shattering-tail shape the Theorem 4.2 analyses reason about. Each record
-// keeps its full ActivePerRound curve in the JSON emission.
+// keeps its full ActivePerRound curve in the JSON emission. From
+// e11FileBackedMin up, the instance is built out of core: the generator
+// streams into a temporary on-disk CSR file (peak heap O(n)) and the
+// algorithms execute over the read-only mapping — the same GNPConnectedStream
+// ≡ GNPConnected guarantee the csrfile tests pin means the records are
+// seed-deterministic either way.
 
 var e11Units = []string{"EN/gnp(4/n)", "Luby/gnp(4/n)"}
+
+// e11FileBackedMin is the size from which E11 builds its instance through the
+// out-of-core path instead of in RAM.
+const e11FileBackedMin = 1 << 23
 
 func e11Sizes(opt Options) []int {
 	if opt.Quick {
 		return []int{1 << 10, 1 << 12}
 	}
-	return []int{1 << 16, 1 << 18, 1 << 20, 1 << 22}
+	return []int{1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 23}
 }
 
 func e11Trials(opt Options, n int) int {
@@ -44,10 +55,46 @@ func e11Trials(opt Options, n int) int {
 // the real construction.
 const e11RadiusCap = 8
 
+// e11Graph builds the sweep's instance: in RAM below e11FileBackedMin,
+// through the streaming builder + mmap loader at and above it. cleanup
+// releases the mapping and removes the temporary file; it is non-nil exactly
+// when err is nil.
+func e11Graph(n int, seed uint64) (*graph.Graph, func(), error) {
+	p := 4.0 / float64(n)
+	if n < e11FileBackedMin {
+		return graph.GNPConnected(n, p, prng.New(seed)), func() {}, nil
+	}
+	f, err := os.CreateTemp("", "e11-*.csr")
+	if err != nil {
+		return nil, nil, err
+	}
+	path := f.Name()
+	f.Close()
+	b, err := csrfile.NewBuilder(path, n)
+	if err != nil {
+		os.Remove(path)
+		return nil, nil, err
+	}
+	graph.GNPConnectedStream(n, p, prng.New(seed), b.AddEdge)
+	if _, err := b.Finalize(); err != nil {
+		os.Remove(path)
+		return nil, nil, err
+	}
+	g, closer, err := graph.OpenCSRFile(path)
+	if err != nil {
+		os.Remove(path)
+		return nil, nil, err
+	}
+	return g, func() {
+		closer.Close()
+		os.Remove(path)
+	}, nil
+}
+
 var E11 = &Experiment{
 	ID:    "E11",
-	Title: "Scale sweep to n = 2^22: round/bit scaling and the shattering tail",
-	Claim: "rounds/log² n (EN) and rounds/log n (Luby) stay flat to n = 2^22; ActivePerRound collapses geometrically (the shattering tail)",
+	Title: "Scale sweep to n = 2^23: round/bit scaling and the shattering tail",
+	Claim: "rounds/log² n (EN) and rounds/log n (Luby) stay flat to n = 2^23; ActivePerRound collapses geometrically (the shattering tail)",
 	Specs: func(opt Options) []RunSpec {
 		var specs []RunSpec
 		for _, n := range e11Sizes(opt) {
@@ -63,7 +110,11 @@ var E11 = &Experiment{
 		rec := newRecord(spec)
 		seed := spec.Seed(opt.Seed)
 		n := spec.N
-		g := graph.GNPConnected(n, 4.0/float64(n), prng.New(seed))
+		g, cleanup, err := e11Graph(n, seed)
+		if err != nil {
+			return rec.fail(err.Error())
+		}
+		defer cleanup()
 		switch {
 		case strings.HasPrefix(spec.Unit, "EN/"):
 			d, res, err := decomp.ElkinNeiman(g, randomness.NewFull(seed+1), nil, decomp.ENConfig{RadiusCap: e11RadiusCap})
@@ -146,6 +197,7 @@ var E11 = &Experiment{
 		}
 		t.Notes = append(t.Notes,
 			fmt.Sprintf("EN runs with RadiusCap=%d (the BenchmarkENDecomp setting) so a phase is %d rounds; the scaling columns compare like against like across n", e11RadiusCap, e11RadiusCap+2),
+			fmt.Sprintf("n >= %d rows run out of core: the instance streams into a temporary on-disk CSR file and the algorithms execute over its read-only mapping", e11FileBackedMin),
 			"full per-round curves for every record are in the JSON emission (active_per_round)")
 		return t
 	},

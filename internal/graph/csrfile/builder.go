@@ -1,0 +1,296 @@
+package csrfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Builder streams an edge list into a CSR graph file without ever holding
+// the edges in RAM. AddEdge appends both directed half-edges of every edge
+// to a temporary file; Finalize counting-sorts that stream into (u, v)
+// lexicographic order with two sequential-read/scattered-write passes over
+// file mappings, then dedups, derives the reverse-port table and checksums
+// the result — the exact pipeline graph.Builder runs in RAM, so the same
+// edge multiset produces a byte-identical file regardless of which builder
+// (or what AddEdge order) emitted it.
+//
+// Peak heap is O(n): three int64 arrays of per-node counters plus fixed
+// buffers. The O(m) traffic lives in the page cache, where the OS can evict
+// it. (On builds without mmap the scatter passes degrade to O(m) RAM
+// buffers; see mmap_fallback.go.)
+//
+// Errors are sticky: the first failure (I/O, out-of-range endpoint, or the
+// int32 half-edge overflow guard) latches, later AddEdge calls become no-ops
+// and Finalize reports it. A Builder must be finished with exactly one
+// Finalize or Abort, either of which removes the temporary file.
+type Builder struct {
+	n    int
+	path string
+	dir  string
+
+	tmp  *os.File // the packed uint64 edge stream, reused as the pass-2 target
+	bw   *bufio.Writer
+	deg  []int64  // per-node half-edge counts, duplicates included
+	buf  [16]byte // AddEdge scratch; a field so it never escapes per call
+	half int64
+	err  error
+	done bool
+}
+
+// NewBuilder starts a streaming build of a graph on n nodes, to be written
+// at path. The temporary edge stream lives next to the output file so both
+// stay on one filesystem.
+func NewBuilder(path string, n int) (*Builder, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("csrfile: negative node count %d", n)
+	}
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("csrfile: node count %d exceeds the int32 CSR index range", n)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".edges-*.tmp")
+	if err != nil {
+		return nil, err
+	}
+	return &Builder{
+		n:    n,
+		path: path,
+		dir:  dir,
+		tmp:  tmp,
+		bw:   bufio.NewWriterSize(tmp, 1<<20),
+		deg:  make([]int64, n),
+	}, nil
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Err returns the sticky error, if any, without finishing the build.
+func (b *Builder) Err() error { return b.err }
+
+// AddEdge records the undirected edge {u, v}. Self-loops are ignored and
+// duplicates are allowed (Finalize dedups), mirroring graph.Builder. Out-of-
+// range endpoints and half-edge overflow latch the builder's error.
+func (b *Builder) AddEdge(u, v int) {
+	if b.err != nil || b.done {
+		return
+	}
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		b.fail(fmt.Errorf("csrfile: AddEdge(%d, %d) out of range for n=%d", u, v, b.n))
+		return
+	}
+	if u == v {
+		return
+	}
+	if b.half+2 > maxHalfEdges {
+		b.fail(fmt.Errorf("csrfile: edge {%d, %d} would push the graph past %d half-edges, which the int32 CSR reverse-port table cannot index",
+			u, v, maxHalfEdges))
+		return
+	}
+	binary.LittleEndian.PutUint64(b.buf[0:], uint64(u)<<32|uint64(uint32(v)))
+	binary.LittleEndian.PutUint64(b.buf[8:], uint64(v)<<32|uint64(uint32(u)))
+	if _, err := b.bw.Write(b.buf[:]); err != nil {
+		b.fail(err)
+		return
+	}
+	b.deg[u]++
+	b.deg[v]++
+	b.half += 2
+}
+
+// Abort discards the build and removes the temporary file. Safe to call
+// after a failed Finalize; a no-op once the build is finished.
+func (b *Builder) Abort() {
+	b.cleanup()
+}
+
+func (b *Builder) cleanup() {
+	b.done = true
+	if b.tmp != nil {
+		name := b.tmp.Name()
+		b.tmp.Close()
+		os.Remove(name)
+		b.tmp = nil
+	}
+}
+
+// cursors returns the exclusive prefix sums of deg — the scatter cursors of
+// one counting-sort pass. Every AddEdge records each endpoint once as a
+// source and once as a target, so the same histogram serves both passes.
+func (b *Builder) cursors() []int64 {
+	cur := make([]int64, b.n)
+	var total int64
+	for v, d := range b.deg {
+		cur[v] = total
+		total += d
+	}
+	return cur
+}
+
+// scatterPass reads packed half-edges sequentially from src and writes each
+// to dst at its key's cursor, advancing the cursor: one stable counting-sort
+// pass. key selects the sort radix (target v for pass 1, source u for
+// pass 2). dst must already have room for every element.
+func scatterPass(src, dst *os.File, half int64, cur []int64, key func(uint64) uint64) error {
+	out, release, err := mapRW(dst, 8*half)
+	if err != nil {
+		return err
+	}
+	if _, err := src.Seek(0, io.SeekStart); err != nil {
+		release(out)
+		return err
+	}
+	br := bufio.NewReaderSize(src, 1<<20)
+	var e [8]byte
+	for i := int64(0); i < half; i++ {
+		if _, err := io.ReadFull(br, e[:]); err != nil {
+			release(out)
+			return fmt.Errorf("csrfile: reading edge stream: %w", err)
+		}
+		p := binary.LittleEndian.Uint64(e[:])
+		k := key(p)
+		copy(out[cur[k]*8:cur[k]*8+8], e[:])
+		cur[k]++
+	}
+	return release(out)
+}
+
+// Finalize sorts, dedups and writes the graph file, returning its header.
+// The builder cannot be reused afterwards.
+func (b *Builder) Finalize() (Header, error) {
+	if b.done {
+		return Header{}, fmt.Errorf("csrfile: builder already finished")
+	}
+	defer b.cleanup()
+	if b.err == nil {
+		if err := b.bw.Flush(); err != nil {
+			b.fail(err)
+		}
+	}
+	if b.err != nil {
+		return Header{}, b.err
+	}
+
+	n := int64(b.n)
+	if b.half > 0 {
+		// Pass 1: counting-sort the AddEdge-ordered stream by target v into
+		// a second temporary, then pass 2: sort that stream by source u back
+		// into the first. Two stable passes leave the half-edges in (u, v)
+		// lexicographic order — rows sorted, duplicates adjacent.
+		tmp2, err := os.CreateTemp(b.dir, filepath.Base(b.path)+".sort-*.tmp")
+		if err != nil {
+			return Header{}, err
+		}
+		defer func() {
+			name := tmp2.Name()
+			tmp2.Close()
+			os.Remove(name)
+		}()
+		if err := tmp2.Truncate(8 * b.half); err != nil {
+			return Header{}, err
+		}
+		if err := scatterPass(b.tmp, tmp2, b.half, b.cursors(), func(p uint64) uint64 {
+			return uint64(uint32(p))
+		}); err != nil {
+			return Header{}, err
+		}
+		if err := scatterPass(tmp2, b.tmp, b.half, b.cursors(), func(p uint64) uint64 {
+			return p >> 32
+		}); err != nil {
+			return Header{}, err
+		}
+	}
+
+	// Assemble the output through a mapping sized for the worst case (no
+	// duplicates); the file is trimmed to the deduped size at the end.
+	out, err := os.Create(b.path)
+	if err != nil {
+		return Header{}, err
+	}
+	defer out.Close()
+	maxSize := headerSize + 8*(n+1) + 8*b.half
+	if err := out.Truncate(maxSize); err != nil {
+		return Header{}, err
+	}
+	mo, release, err := mapRW(out, maxSize)
+	if err != nil {
+		return Header{}, err
+	}
+	fileErr := func(err error) (Header, error) {
+		release(mo)
+		return Header{}, err
+	}
+
+	// Dedup pass: stream the sorted half-edges, write the surviving targets
+	// as adj and count row sizes.
+	adjStart := headerSize + 8*(n+1)
+	off := make([]int64, n+1)
+	var hf int64
+	if b.half > 0 {
+		if _, err := b.tmp.Seek(0, io.SeekStart); err != nil {
+			return fileErr(err)
+		}
+		br := bufio.NewReaderSize(b.tmp, 1<<20)
+		var e [8]byte
+		prev := ^uint64(0) // impossible pair: u == v is never recorded
+		for i := int64(0); i < b.half; i++ {
+			if _, err := io.ReadFull(br, e[:]); err != nil {
+				return fileErr(fmt.Errorf("csrfile: reading sorted edge stream: %w", err))
+			}
+			p := binary.LittleEndian.Uint64(e[:])
+			if p == prev {
+				continue
+			}
+			prev = p
+			off[(p>>32)+1]++
+			binary.LittleEndian.PutUint32(mo[adjStart+4*hf:], uint32(p))
+			hf++
+		}
+	}
+	for v := int64(1); v <= n; v++ {
+		off[v] += off[v-1]
+	}
+
+	// Reverse-port table: scanning adj in global order visits, for each
+	// fixed neighbor w, the sources in ascending order — w's own row order —
+	// so a per-node cursor hands out the reverse positions (the same O(m)
+	// trick as graph.Builder, with the random writes absorbed by the page
+	// cache).
+	revStart := adjStart + 4*hf
+	cur := make([]int64, b.n)
+	for i := int64(0); i < hf; i++ {
+		w := binary.LittleEndian.Uint32(mo[adjStart+4*i:])
+		binary.LittleEndian.PutUint32(mo[revStart+4*i:], uint32(off[w]+cur[w]))
+		cur[w]++
+	}
+
+	for v := int64(0); v <= n; v++ {
+		binary.LittleEndian.PutUint64(mo[headerSize+8*v:], uint64(off[v]))
+	}
+	hdr := Header{
+		Version:   version,
+		N:         b.n,
+		HalfEdges: hf,
+		Checksum:  crc64.Checksum(mo[headerSize:revStart+4*hf], crcTable),
+	}
+	encodeHeader(mo[:headerSize], hdr)
+	if err := release(mo); err != nil {
+		return Header{}, err
+	}
+	if err := out.Truncate(hdr.FileSize()); err != nil {
+		return Header{}, err
+	}
+	if err := out.Close(); err != nil {
+		return Header{}, err
+	}
+	return hdr, nil
+}

@@ -1,0 +1,20 @@
+package csrfile
+
+// Test-only access to build internals.
+
+// MmapSupported reports whether this build maps files (true on unix builds
+// without the mmap_unsupported tag); the O(n)-heap assertion only holds
+// there.
+const MmapSupported = mmapSupported
+
+// SetMaxHalfEdges lowers the int32 overflow guard so tests can trip it
+// without a 16 GiB edge stream. The returned func restores the real limit.
+func SetMaxHalfEdges(v int64) (restore func()) {
+	old := maxHalfEdges
+	maxHalfEdges = v
+	return func() { maxHalfEdges = old }
+}
+
+// HeaderSize is the fixed header length, for corruption tests that poke at
+// specific offsets.
+const HeaderSize = headerSize

@@ -1,0 +1,101 @@
+package csrfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"os"
+)
+
+// Write stores an in-RAM CSR triple as a graph file at path: one sequential
+// pass that streams the arrays through the checksum, then backfills the
+// header. The slices must satisfy the Graph invariants (off ascending from 0
+// to len(adj), len(rev) == len(adj)); Write checks only the shape — it is
+// the persistence half of graph.WriteCSRFile, not a validator.
+func Write(path string, off []int64, adj, rev []int32) error {
+	if len(off) == 0 {
+		off = []int64{0}
+	}
+	n := len(off) - 1
+	if int64(n) > math.MaxInt32 {
+		return fmt.Errorf("csrfile: node count %d exceeds the int32 CSR index range", n)
+	}
+	if len(adj) != len(rev) {
+		return fmt.Errorf("csrfile: adj has %d entries, rev has %d", len(adj), len(rev))
+	}
+	if int64(len(adj)) > maxHalfEdges {
+		return fmt.Errorf("csrfile: %d half-edges exceed the int32 CSR index limit %d", len(adj), maxHalfEdges)
+	}
+	if off[0] != 0 || off[n] != int64(len(adj)) {
+		return fmt.Errorf("csrfile: offsets [%d, %d] do not frame the %d-entry adjacency", off[0], off[n], len(adj))
+	}
+	hdr := Header{Version: version, N: n, HalfEdges: int64(len(adj))}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if _, err := bw.Write(make([]byte, headerSize)); err != nil {
+		return err
+	}
+	crc := crc64.New(crcTable)
+	w := io.MultiWriter(bw, crc)
+	if err := writeInt64s(w, off); err != nil {
+		return err
+	}
+	if err := writeInt32s(w, adj); err != nil {
+		return err
+	}
+	if err := writeInt32s(w, rev); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	hdr.Checksum = crc.Sum64()
+	var hb [headerSize]byte
+	encodeHeader(hb[:], hdr)
+	if _, err := f.WriteAt(hb[:], 0); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeInt64s(w io.Writer, xs []int64) error {
+	var buf [1 << 13]byte
+	i := 0
+	for i < len(xs) {
+		k := 0
+		for i < len(xs) && k+8 <= len(buf) {
+			binary.LittleEndian.PutUint64(buf[k:], uint64(xs[i]))
+			k += 8
+			i++
+		}
+		if _, err := w.Write(buf[:k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeInt32s(w io.Writer, xs []int32) error {
+	var buf [1 << 13]byte
+	i := 0
+	for i < len(xs) {
+		k := 0
+		for i < len(xs) && k+4 <= len(buf) {
+			binary.LittleEndian.PutUint32(buf[k:], uint32(xs[i]))
+			k += 4
+			i++
+		}
+		if _, err := w.Write(buf[:k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+
+	"randlocal/internal/graph/csrfile"
+)
+
+// WriteCSRFile stores g in the on-disk CSR format (internal/graph/csrfile):
+// the flat off/adj/rev arrays behind CSR(), little-endian with a checksummed
+// header, so OpenCSRFile can later back a graph by the file instead of RAM.
+func WriteCSRFile(g *Graph, path string) error {
+	off, adj, rev := g.CSR()
+	return csrfile.Write(path, off, adj, rev)
+}
+
+// OpenCSRFile opens an on-disk CSR graph as a *Graph backed by a read-only
+// file mapping: the slices CSR() exposes alias the mapping directly, so the
+// engines, sharding and bit planes run on it unmodified while the OS pages
+// the arrays in and out on demand — graph size is bounded by disk, not RAM.
+// The returned closer releases the mapping; the graph (and every slice
+// handed out by CSR or Neighbors) is invalid after Close.
+//
+// Open checks the header, the exact file size and the O(n) offset structure;
+// it does not checksum the O(m) array bytes (csrfile.Verify does, and
+// csrgen runs it after every build).
+func OpenCSRFile(path string) (*Graph, io.Closer, error) {
+	m, err := csrfile.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := &Graph{off: m.Off, adj: m.Adj, rev: m.Rev, edges: int(m.Header.Edges())}
+	if err := g.checkOffsets(); err != nil {
+		m.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, m, nil
+}
+
+// checkOffsets is the O(n) structural subset of Validate: offsets ascend
+// from 0 and frame the adjacency exactly. It skips the O(m log Δ) symmetry
+// and reverse-port checks, which would touch every page of a just-mapped
+// file.
+func (g *Graph) checkOffsets() error {
+	n := g.N()
+	if len(g.off) == 0 || g.off[0] != 0 {
+		return fmt.Errorf("graph: offsets do not start at 0")
+	}
+	for v := 0; v < n; v++ {
+		if g.off[v+1] < g.off[v] {
+			return fmt.Errorf("graph: offsets decrease at node %d", v)
+		}
+	}
+	if g.off[n] != int64(len(g.adj)) {
+		return fmt.Errorf("graph: offsets end at %d, adjacency has %d half-edges", g.off[n], len(g.adj))
+	}
+	if len(g.rev) != len(g.adj) {
+		return fmt.Errorf("graph: reverse-port table has %d entries for %d half-edges", len(g.rev), len(g.adj))
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"randlocal/internal/prng"
+)
+
+// GNPConnectedStream emits exactly the edge multiset of
+// GNPConnected(n, p, rng) — the same rng draw sequence, the same
+// component-linking edges — without ever materializing a Graph, so streaming
+// builders (csrfile.Builder) can construct G(n, p)+connectivity instances
+// whose edge arrays exceed RAM. Peak memory is O(n): a union-find forest
+// stands in for the BFS component labeling, and the per-component
+// representative lists match Components' ordering because both number
+// components by their minimum-index member and collect members in ascending
+// node order.
+//
+// Emission order differs from Graph.Edges order, which is fine for any
+// order-insensitive consumer (both CSR builders counting-sort and dedup);
+// the resulting graph is Equal to GNPConnected's, golden-tested.
+func GNPConnectedStream(n int, p float64, rng *prng.SplitMix64, emit func(u, v int)) {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("graph: GNP probability %v out of [0,1]", p))
+	}
+	d := newDSU(n)
+	add := func(u, v int) {
+		emit(u, v)
+		d.union(u, v)
+	}
+	// The G(n, p) phase replicates GNP's draw discipline exactly: geometric
+	// pair skipping for 0 < p < 1, no draws at the endpoints.
+	switch {
+	case p == 0 || n < 2:
+	case p == 1:
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				add(u, v)
+			}
+		}
+	default:
+		u, v := 0, 0
+		for u < n-1 {
+			uniform := rng.Float64()
+			for uniform == 0 {
+				uniform = rng.Float64()
+			}
+			skip := int(math.Log(uniform)/math.Log(1-p)) + 1
+			v += skip
+			for v >= n {
+				overflow := v - n
+				u++
+				v = u + 1 + overflow
+				if u >= n-1 {
+					break
+				}
+			}
+			if u >= n-1 {
+				break
+			}
+			add(u, v)
+		}
+	}
+	// Link the components with the same representative choices GNPConnected
+	// makes: components numbered by minimum member, members listed in
+	// ascending node order, one rng.Intn per endpoint.
+	comp := make([]int32, n)
+	k := 0
+	label := make([]int32, n)
+	for i := range label {
+		label[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		r := d.find(v)
+		if label[r] < 0 {
+			label[r] = int32(k)
+			k++
+		}
+		comp[v] = label[r]
+	}
+	if k <= 1 {
+		return
+	}
+	reps := make([][]int, k)
+	for v := 0; v < n; v++ {
+		reps[comp[v]] = append(reps[comp[v]], v)
+	}
+	for c := 1; c < k; c++ {
+		u := reps[c-1][rng.Intn(len(reps[c-1]))]
+		v := reps[c][rng.Intn(len(reps[c]))]
+		emit(u, v)
+	}
+}
+
+// dsu is a union-find forest with union by rank and path halving — the O(n)
+// stand-in for Components' BFS labeling during streaming generation.
+type dsu struct {
+	parent []int32
+	rank   []uint8
+}
+
+func newDSU(n int) *dsu {
+	d := &dsu{parent: make([]int32, n), rank: make([]uint8, n)}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+	}
+	return d
+}
+
+func (d *dsu) find(v int) int {
+	for int(d.parent[v]) != v {
+		d.parent[v] = d.parent[d.parent[v]] // path halving
+		v = int(d.parent[v])
+	}
+	return v
+}
+
+func (d *dsu) union(u, v int) {
+	ru, rv := d.find(u), d.find(v)
+	if ru == rv {
+		return
+	}
+	if d.rank[ru] < d.rank[rv] {
+		ru, rv = rv, ru
+	}
+	d.parent[rv] = int32(ru)
+	if d.rank[ru] == d.rank[rv] {
+		d.rank[ru]++
+	}
+}

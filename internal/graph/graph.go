@@ -256,14 +256,27 @@ func NewBuilder(n int) *Builder {
 	return &Builder{n: n}
 }
 
+// maxHalfEdges caps the builder's half-edge count: rev entries are int32, so
+// a graph with 2^31 or more half-edges cannot be indexed by the CSR tables —
+// without the guard the int32 conversions below would wrap and corrupt the
+// graph silently. A variable (not a const) only so tests can lower it and
+// exercise the overflow path without a 16 GiB edge list.
+var maxHalfEdges = int64(math.MaxInt32)
+
 // AddEdge records the undirected edge {u, v}. Self-loops are ignored.
-// It panics if an endpoint is out of range (a programming error in callers).
+// It panics if an endpoint is out of range or the graph would exceed the
+// int32 half-edge limit (both programming errors in callers; graphs beyond
+// the limit are unrepresentable in CSR and need sharding instead).
 func (b *Builder) AddEdge(u, v int) {
 	if u < 0 || u >= b.n || v < 0 || v >= b.n {
 		panic(fmt.Sprintf("graph: AddEdge(%d, %d) out of range for n=%d", u, v, b.n))
 	}
 	if u == v {
 		return
+	}
+	if int64(len(b.pairs))+2 > maxHalfEdges {
+		panic(fmt.Sprintf("graph: edge {%d, %d} would push the graph past %d half-edges, which the int32 CSR reverse-port table cannot index",
+			u, v, maxHalfEdges))
 	}
 	b.pairs = append(b.pairs, uint64(u)<<32|uint64(uint32(v)), uint64(v)<<32|uint64(uint32(u)))
 }
@@ -277,8 +290,9 @@ func (b *Builder) Graph() *Graph {
 // fromHalfEdges builds a CSR graph from packed directed half-edges (each
 // undirected edge present in both directions, duplicates allowed).
 func fromHalfEdges(n int, pairs []uint64) *Graph {
-	if int64(len(pairs)) > math.MaxInt32 {
-		panic("graph: half-edge count exceeds the int32 CSR index range")
+	if int64(len(pairs)) > maxHalfEdges {
+		panic(fmt.Sprintf("graph: %d half-edges exceed the int32 CSR index limit %d; rev []int32 cannot address them",
+			len(pairs), maxHalfEdges))
 	}
 	// Two stable counting-sort passes — by v, then by u — leave the
 	// half-edges in (u, v) lexicographic order, so rows come out sorted and

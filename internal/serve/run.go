@@ -9,6 +9,7 @@ package serve
 
 import (
 	"fmt"
+	"io"
 
 	"randlocal/internal/check"
 	"randlocal/internal/coloring"
@@ -57,6 +58,12 @@ type RunRequest struct {
 	N     int     `json:"n"`
 	P     float64 `json:"p,omitempty"`
 	Deg   int     `json:"deg,omitempty"`
+	// GraphFile, when set, runs on a prebuilt on-disk CSR graph (cmd/csrgen)
+	// instead of a generated family: Graph/P/Deg must be unset and N may be
+	// 0 (it is filled from the file's header) or must match it. Over HTTP
+	// the path is resolved inside the daemon's -graphdir sandbox; direct
+	// Execute callers and the locsim CLI pass any path.
+	GraphFile string `json:"graphFile,omitempty"`
 	// Seed drives everything: graph construction, the algorithm's coins,
 	// and (through the derived SimulationKey) the adversary's. The same
 	// request is byte-deterministic across processes.
@@ -84,43 +91,30 @@ func (r *RunRequest) Validate() error {
 	default:
 		return fmt.Errorf("unknown algo %q (want en, luby, lubybit or coloring)", r.Algo)
 	}
-	if r.Graph == "" {
-		r.Graph = "gnp"
-	}
-	switch r.Graph {
-	case "gnp", "ring", "grid", "tree", "cliques", "regular":
-	default:
-		return fmt.Errorf("unknown graph family %q", r.Graph)
-	}
-	if r.N <= 0 {
-		return fmt.Errorf("n must be positive, got %d", r.N)
-	}
-	if r.N > MaxN {
-		return fmt.Errorf("n %d exceeds the service cap %d", r.N, MaxN)
-	}
-	if r.P < 0 || r.P > 1 {
-		return fmt.Errorf("p %v outside [0, 1]", r.P)
-	}
-	if r.Deg < 0 {
-		return fmt.Errorf("deg must be nonnegative, got %d", r.Deg)
-	}
-	// Per-family feasibility: the generators panic on infeasible shapes, so
-	// reject them here rather than crashing a pool worker.
-	switch r.Graph {
-	case "cliques":
-		if r.N < 4 {
-			return fmt.Errorf("graph cliques needs n >= 4 (one clique of size 4), got n=%d", r.N)
+	if r.GraphFile != "" {
+		// File-backed runs carry their shape in the file's header; the
+		// family parameters must not also be set (they would silently lose).
+		if r.Graph != "" {
+			return fmt.Errorf("graphFile and a graph family are mutually exclusive")
 		}
-	case "regular":
-		deg := r.Deg
-		if deg == 0 {
-			deg = 3 // the CLI default BuildGraph applies
+		if r.P != 0 || r.Deg != 0 {
+			return fmt.Errorf("p and deg do not apply to a graphFile run")
 		}
-		if deg >= r.N {
-			return fmt.Errorf("graph regular needs deg < n, got deg=%d n=%d", deg, r.N)
+		if r.N < 0 {
+			return fmt.Errorf("n must be nonnegative with graphFile, got %d", r.N)
 		}
-		if r.N*deg%2 != 0 {
-			return fmt.Errorf("graph regular needs n*deg even, got n=%d deg=%d", r.N, deg)
+		if r.N > MaxN {
+			return fmt.Errorf("n %d exceeds the service cap %d", r.N, MaxN)
+		}
+	} else {
+		if r.Graph == "" {
+			r.Graph = "gnp"
+		}
+		if err := ValidateGraphSpec(r.Graph, r.N, r.P, r.Deg); err != nil {
+			return err
+		}
+		if r.N > MaxN {
+			return fmt.Errorf("n %d exceeds the service cap %d", r.N, MaxN)
 		}
 	}
 	if _, err := sim.ParseScheduler(r.Scheduler); err != nil {
@@ -135,9 +129,10 @@ func (r *RunRequest) Validate() error {
 	if r.Workers < 0 {
 		return fmt.Errorf("workers must be nonnegative, got %d", r.Workers)
 	}
-	if r.Workers > r.N {
+	if r.N > 0 && r.Workers > r.N {
 		// Normalize rather than reject: the engine would clamp anyway, and
-		// the telemetry summary reports the effective width.
+		// the telemetry summary reports the effective width. (A graphFile
+		// run with N still 0 clamps once the header fills N in.)
 		r.Workers = r.N
 	}
 	if k := r.Adversary; k.Drop < 0 || k.Drop > 1 || k.Delay < 0 || k.Delay > 1 ||
@@ -152,6 +147,43 @@ func reshardOrDefault(s string) string {
 		return "adaptive"
 	}
 	return s
+}
+
+// ValidateGraphSpec rejects family parameters the generators would panic on —
+// shared by request validation and csrgen, so every front end turns an
+// infeasible shape into an error instead of a crashed worker.
+func ValidateGraphSpec(kind string, n int, p float64, deg int) error {
+	switch kind {
+	case "gnp", "ring", "grid", "tree", "cliques", "regular":
+	default:
+		return fmt.Errorf("unknown graph family %q", kind)
+	}
+	if n <= 0 {
+		return fmt.Errorf("n must be positive, got %d", n)
+	}
+	if p < 0 || p > 1 {
+		return fmt.Errorf("p %v outside [0, 1]", p)
+	}
+	if deg < 0 {
+		return fmt.Errorf("deg must be nonnegative, got %d", deg)
+	}
+	switch kind {
+	case "cliques":
+		if n < 4 {
+			return fmt.Errorf("graph cliques needs n >= 4 (one clique of size 4), got n=%d", n)
+		}
+	case "regular":
+		if deg == 0 {
+			deg = 3 // the CLI default BuildGraph applies
+		}
+		if deg >= n {
+			return fmt.Errorf("graph regular needs deg < n, got deg=%d n=%d", deg, n)
+		}
+		if n*deg%2 != 0 {
+			return fmt.Errorf("graph regular needs n*deg even, got n=%d deg=%d", n, deg)
+		}
+	}
+	return nil
 }
 
 // BuildGraph constructs the request's graph family exactly as the locsim CLI
@@ -321,9 +353,33 @@ func Execute(req RunRequest, exec sim.ExecOptions) (*RunOutcome, error) {
 		exec.Unpacked = true
 	}
 
-	g, err := BuildGraph(req.Graph, req.N, req.P, req.Deg, req.Seed)
-	if err != nil {
-		return nil, err
+	var g *graph.Graph
+	if req.GraphFile != "" {
+		// File-backed run: the engines execute on the read-only mapping
+		// directly; the closer releases it once the run (and its telemetry
+		// summarization) is done.
+		var closer io.Closer
+		g, closer, err = graph.OpenCSRFile(req.GraphFile)
+		if err != nil {
+			return nil, err
+		}
+		defer closer.Close()
+		if g.N() > MaxN {
+			return nil, fmt.Errorf("graph file n=%d exceeds the service cap %d", g.N(), MaxN)
+		}
+		if req.N != 0 && req.N != g.N() {
+			return nil, fmt.Errorf("request n=%d does not match the graph file's n=%d", req.N, g.N())
+		}
+		req.N = g.N()
+		if req.Workers > req.N {
+			req.Workers = req.N
+		}
+		exec.Workers = req.Workers
+	} else {
+		g, err = BuildGraph(req.Graph, req.N, req.P, req.Deg, req.Seed)
+		if err != nil {
+			return nil, err
+		}
 	}
 	var adv *sim.Adversary
 	if k := req.Adversary; !k.Zero() {

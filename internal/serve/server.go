@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"path/filepath"
+	"strings"
 	"sync"
 
 	"randlocal/internal/experiments"
+	"randlocal/internal/graph/csrfile"
 	"randlocal/internal/sim"
 )
 
@@ -23,6 +26,10 @@ type Options struct {
 	// rather than touching the package-wide default, so co-resident
 	// workloads are unaffected.
 	Pool *sim.EnginePool
+	// GraphDir is the directory of prebuilt CSR graph files (cmd/csrgen)
+	// that graphFile requests may name, relative paths only — the daemon's
+	// file-backed sandbox. Empty rejects graphFile runs entirely.
+	GraphDir string
 }
 
 // Server is the simulation service: a bounded TrialPool executing submitted
@@ -30,8 +37,9 @@ type Options struct {
 // clients. It is the HTTP-facing twin of the experiments Runner — the same
 // queue machinery, fed by POSTs instead of sweep specs.
 type Server struct {
-	pool    *experiments.TrialPool
-	engines *sim.EnginePool
+	pool     *experiments.TrialPool
+	engines  *sim.EnginePool
+	graphDir string
 
 	mu       sync.Mutex
 	runs     map[string]*run
@@ -48,6 +56,9 @@ type Server struct {
 type run struct {
 	id  string
 	req RunRequest
+	// graphPath is the sandbox-resolved location of req.GraphFile; the
+	// stored request keeps the client's relative path for the status API.
+	graphPath string
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -127,9 +138,10 @@ func (r *run) view() runView {
 // discarding the server.
 func NewServer(opt Options) *Server {
 	return &Server{
-		pool:    experiments.NewTrialPool(opt.Jobs, opt.Backlog),
-		engines: opt.Pool,
-		runs:    map[string]*run{},
+		pool:     experiments.NewTrialPool(opt.Jobs, opt.Backlog),
+		engines:  opt.Pool,
+		graphDir: opt.GraphDir,
+		runs:     map[string]*run{},
 	}
 }
 
@@ -194,6 +206,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	graphPath := ""
+	if req.GraphFile != "" {
+		var err error
+		if graphPath, err = s.resolveGraphFile(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
 
 	s.mu.Lock()
 	if s.draining {
@@ -203,6 +223,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.seq++
 	rn := newRun(fmt.Sprintf("r%d", s.seq), req)
+	rn.graphPath = graphPath
 	s.runs[rn.id] = rn
 	s.order = append(s.order, rn.id)
 	s.mu.Unlock()
@@ -234,14 +255,48 @@ func (s *Server) execute(rn *run) {
 	rn.mu.Lock()
 	rn.status = "running"
 	rn.mu.Unlock()
+	req := rn.req
+	if rn.graphPath != "" {
+		req.GraphFile = rn.graphPath
+	}
 	out, err := runGuarded(func() (*RunOutcome, error) {
-		return Execute(rn.req, sim.ExecOptions{
+		return Execute(req, sim.ExecOptions{
 			Telemetry: true,
 			Pool:      s.engines,
 			Progress:  rn.observe,
 		})
 	})
 	rn.finish(out, err)
+}
+
+// resolveGraphFile maps a submitted graphFile into the daemon's -graphdir
+// sandbox and pre-validates its header, so a bad path or oversized graph is
+// a 400 at submit time rather than a failed run later. It fills the
+// request's N (and worker clamp) from the header.
+func (s *Server) resolveGraphFile(req *RunRequest) (string, error) {
+	if s.graphDir == "" {
+		return "", fmt.Errorf("this server does not accept graphFile runs (start locsimd with -graphdir)")
+	}
+	clean := filepath.Clean(req.GraphFile)
+	if filepath.IsAbs(clean) || clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("graphFile %q escapes the graph directory", req.GraphFile)
+	}
+	path := filepath.Join(s.graphDir, clean)
+	hdr, err := csrfile.ReadHeader(path)
+	if err != nil {
+		return "", fmt.Errorf("graphFile %q: %w", req.GraphFile, err)
+	}
+	if hdr.N > MaxN {
+		return "", fmt.Errorf("graph file n=%d exceeds the service cap %d", hdr.N, MaxN)
+	}
+	if req.N != 0 && req.N != hdr.N {
+		return "", fmt.Errorf("request n=%d does not match the graph file's n=%d", req.N, hdr.N)
+	}
+	req.N = hdr.N
+	if req.Workers > req.N {
+		req.Workers = req.N
+	}
+	return path, nil
 }
 
 // runGuarded invokes fn, converting a panic into a failed-run error. Validate

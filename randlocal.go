@@ -81,6 +81,17 @@ var (
 	IsConnected   = graph.IsConnected
 )
 
+// Out-of-core graphs: WriteCSRFile persists a graph in the versioned on-disk
+// CSR format (cmd/csrgen builds such files streamingly at scales where the
+// edge set never fits in RAM), OpenCSRFile maps one back as a read-only
+// mmap-backed Graph, and GNPConnectedStream is the O(n)-heap generator
+// feeding the streaming builder — draw-for-draw identical to GNPConnected.
+var (
+	WriteCSRFile       = graph.WriteCSRFile
+	OpenCSRFile        = graph.OpenCSRFile
+	GNPConnectedStream = graph.GNPConnectedStream
+)
+
 // --- Randomness ------------------------------------------------------------
 
 // RandomnessSource hands out per-node accounted random streams under one of

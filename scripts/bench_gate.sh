@@ -3,7 +3,9 @@
 #
 # Reruns the engine and packed-bit-plane benchmarks (the BenchmarkLuby /
 # BenchmarkLubyPacked pair keeps both sides of the packed-vs-unpacked
-# comparison honest) and compares ns/op and allocs/op per benchmark against
+# comparison honest, and BenchmarkLubyPackedFile holds the mmap-backed
+# on-disk graph path to its recorded cost) and compares ns/op and allocs/op
+# per benchmark against
 # a committed BENCH_PR*.json baseline, failing (exit 1)
 # when either metric regresses by more than the threshold. Benchmarks
 # without a row in the baseline (newly added ones) are recorded but not
@@ -20,7 +22,7 @@
 # Usage: scripts/bench_gate.sh [--baseline baseline.json] [--benchtime 1x]
 #        scripts/bench_gate.sh [baseline.json] [benchtime]
 #   --baseline baseline.json  committed BENCH_PR*.json to gate against
-#                             (default BENCH_PR9.json — bump this when a PR
+#                             (default BENCH_PR10.json — bump this when a PR
 #                             records a new baseline)
 #   --benchtime 1x            go test -benchtime value; each size runs
 #                             BENCH_COUNT times and the gate compares the
@@ -32,7 +34,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 . scripts/bench_lib.sh
 
-BASELINE="BENCH_PR9.json"
+BASELINE="BENCH_PR10.json"
 BENCHTIME="1x"
 positional=0
 while [ $# -gt 0 ]; do
@@ -77,6 +79,7 @@ raw=$(run_benchmarks_isolated "$BENCHTIME" \
 	'BenchmarkRunParallelStaggered$/^n=65536$' 'BenchmarkRunParallelStaggered$/^n=1048576$' \
 	'BenchmarkLuby$/^n=65536$' 'BenchmarkLuby$/^n=1048576$' \
 	'BenchmarkLubyPacked$/^n=65536$' 'BenchmarkLubyPacked$/^n=1048576$' \
+	'BenchmarkLubyPackedFile$/^n=65536$' 'BenchmarkLubyPackedFile$/^n=1048576$' \
 	'BenchmarkRunParallelLubyPacked$/^n=65536$' 'BenchmarkRunParallelLubyPacked$/^n=1048576$' | min_over_runs)
 
 printf '%s\n' "$raw" |

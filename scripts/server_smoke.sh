@@ -7,9 +7,12 @@
 #      |MIS| match a direct same-seed `locsim` run (CLI equivalence).
 #   3. A faulted Elkin–Neiman run reports the same verdict and rounds the
 #      CLI prints — and the CLI exits nonzero on the rejected run.
-#   4. The SSE stream delivers per-round progress events and a terminal
+#   4. A file-backed run (csrgen graph served from -graphdir) reproduces
+#      the generated run's outcome exactly — daemon and CLI — and path
+#      escapes outside the graph directory are rejected with 400.
+#   5. The SSE stream delivers per-round progress events and a terminal
 #      done event carrying the telemetry summary.
-#   5. SIGTERM drains gracefully: in-flight work finishes, the process
+#   6. SIGTERM drains gracefully: in-flight work finishes, the process
 #      logs the drain and exits cleanly.
 #
 # No jq dependency: JSON fields are extracted with grep/sed.
@@ -37,9 +40,14 @@ json_field() { # json_field <file> <name> — first numeric value of "name":N
 echo "== build"
 go build -o "$OUT/locsim" ./cmd/locsim
 go build -o "$OUT/locsimd" ./cmd/locsimd
+go build -o "$OUT/csrgen" ./cmd/csrgen
+
+echo "== generate on-disk graph"
+mkdir -p "$OUT/graphs"
+"$OUT/csrgen" -graph gnp -n 512 -seed 42 -o "$OUT/graphs/g512.csr"
 
 echo "== start daemon"
-"$OUT/locsimd" -addr 127.0.0.1:0 -jobs 2 -backlog 4 >"$OUT/daemon.log" 2>&1 &
+"$OUT/locsimd" -addr 127.0.0.1:0 -jobs 2 -backlog 4 -graphdir "$OUT/graphs" >"$OUT/daemon.log" 2>&1 &
 DAEMON_PID=$!
 ADDR=""
 for _ in $(seq 1 50); do
@@ -86,6 +94,43 @@ CLI_MIS="$(grep -o '|MIS|=[0-9]*' "$OUT/luby.cli" | head -1 | cut -d= -f2)"
 echo "daemon: rounds=$DAEMON_ROUNDS |MIS|=$DAEMON_MIS; cli: rounds=$CLI_ROUNDS |MIS|=$CLI_MIS"
 [[ "$DAEMON_ROUNDS" == "$CLI_ROUNDS" && -n "$DAEMON_ROUNDS" ]] || { echo "rounds mismatch"; exit 1; }
 [[ "$DAEMON_MIS" == "$CLI_MIS" && -n "$DAEMON_MIS" ]] || { echo "|MIS| mismatch"; exit 1; }
+
+echo "== file-backed Luby run via daemon (same instance from -graphdir)"
+# csrgen -graph gnp -n 512 -seed 42 wrote the exact graph the generated run
+# above built in RAM, so the file-backed outcome must be identical.
+FILE_ID="$(submit '{"algo":"luby","graphFile":"g512.csr","seed":42}')"
+[[ -n "$FILE_ID" ]] || { echo "no id returned for file-backed run"; exit 1; }
+STATUS="$(poll_done "$FILE_ID" "$OUT/lubyfile.json")"
+[[ "$STATUS" == "done" ]] || { echo "file-backed run status: $STATUS"; cat "$OUT/lubyfile.json"; exit 1; }
+grep -q '"valid":true' "$OUT/lubyfile.json" || { echo "file-backed run not valid"; cat "$OUT/lubyfile.json"; exit 1; }
+FILE_ROUNDS="$(json_field "$OUT/lubyfile.json" rounds)"
+FILE_MIS="$(grep -o '|MIS|=[0-9]*' "$OUT/lubyfile.json" | head -1 | cut -d= -f2)"
+echo "file-backed: rounds=$FILE_ROUNDS |MIS|=$FILE_MIS; generated: rounds=$DAEMON_ROUNDS |MIS|=$DAEMON_MIS"
+[[ "$FILE_ROUNDS" == "$DAEMON_ROUNDS" && -n "$FILE_ROUNDS" ]] || { echo "file-backed rounds diverge from generated run"; exit 1; }
+[[ "$FILE_MIS" == "$DAEMON_MIS" && -n "$FILE_MIS" ]] || { echo "file-backed |MIS| diverges from generated run"; exit 1; }
+# The status view echoes the client's relative path, not the resolved one.
+grep -q '"graphFile":"g512.csr"' "$OUT/lubyfile.json" || { echo "status view missing relative graphFile"; cat "$OUT/lubyfile.json"; exit 1; }
+
+echo "== file-backed Luby run via CLI (same file, same seed)"
+"$OUT/locsim" -graphfile "$OUT/graphs/g512.csr" -algo luby -seed 42 >"$OUT/lubyfile.cli" 2>&1
+# Byte-identical output modulo the telemetry wall-clock line.
+if ! diff <(grep -v '^telemetry' "$OUT/luby.cli") <(grep -v '^telemetry' "$OUT/lubyfile.cli"); then
+  echo "locsim -graphfile output diverges from the generated same-seed run"
+  exit 1
+fi
+
+echo "== graph-directory escapes are rejected"
+reject_submit() { # reject_submit <json> <want-substring>
+  local code body
+  body="$(curl -s -o - -w '\n%{http_code}' -X POST -H 'Content-Type: application/json' -d "$1" "$BASE/v1/runs")"
+  code="${body##*$'\n'}"
+  [[ "$code" == "400" ]] || { echo "submit $1: got HTTP $code, want 400"; echo "$body"; exit 1; }
+  printf '%s' "$body" | grep -q "$2" || { echo "submit $1: 400 body missing '$2'"; echo "$body"; exit 1; }
+}
+reject_submit '{"algo":"luby","graphFile":"../escape.csr","seed":1}' "escapes"
+reject_submit '{"algo":"luby","graphFile":"/etc/passwd","seed":1}' "escapes"
+reject_submit '{"algo":"luby","graphFile":"missing.csr","seed":1}' ""
+echo "escape and missing-file submissions rejected with 400"
 
 echo "== faulted EN run via daemon"
 EN_ID="$(submit '{"algo":"en","n":256,"seed":1,"adversary":{"drop":0.3,"crash":4}}')"
